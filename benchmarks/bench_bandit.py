@@ -1,0 +1,46 @@
+"""Bench: the Bandwidth Bandit extension (the paper's stated future work).
+
+Not a figure from this paper — the conclusion proposes "extending this
+approach to collect performance data against other shared resources", which
+this bench demonstrates: Target CPI as a function of available off-chip
+bandwidth, with the cache dimension held fixed.
+"""
+
+import pytest
+
+from repro.core.bandit import measure_bandwidth_curve
+from repro.workloads import make_benchmark
+
+
+@pytest.mark.experiment
+def test_bandwidth_bandit_extension(run_once, scale):
+    def run():
+        out = {}
+        for name in ("libquantum", "povray"):
+            out[name] = measure_bandwidth_curve(
+                lambda: make_benchmark(name, seed=3),
+                gaps_cycles=[60.0, 12.0, 3.0, 0.5],
+                interval_instructions=scale.interval_instructions,
+                warmup_instructions=scale.interval_instructions,
+                benchmark=name,
+                seed=3,
+            )
+        return out
+
+    curves = run_once(run)
+    print()
+    for curve in curves.values():
+        print(curve.format_table())
+        print()
+
+    # the streaming target degrades as its available bandwidth shrinks
+    lq = curves["libquantum"].points
+    assert lq[0].available_bandwidth_gbps < lq[-1].available_bandwidth_gbps
+    assert lq[0].target_cpi > lq[-1].target_cpi * 1.05
+    # the cache-resident target is indifferent
+    pv = [p.target_cpi for p in curves["povray"].points]
+    assert max(pv) / min(pv) < 1.1
+    # the bandit's achieved bandwidth saturates below system capacity
+    for curve in curves.values():
+        for p in curve.points:
+            assert p.bandit_bandwidth_gbps < curve.capacity_gbps * 1.05

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 1 (OMNeT++ throughput scaling + CPI curve).
+
+Prints the measured/predicted/ideal rows and asserts the paper's claim:
+the CPI-curve prediction tracks the measured scaling.
+"""
+
+import pytest
+
+from repro.experiments import fig1_omnet
+
+
+@pytest.mark.experiment
+def test_fig1_omnet_scaling(run_once, scale):
+    result = run_once(fig1_omnet.run, scale)
+    print()
+    print(result.format())
+    # sub-ideal scaling at 4 instances, and the prediction explains it
+    last = result.rows[-1]
+    assert last.measured < last.ideal
+    assert result.max_prediction_gap() < 0.5
+    # CPI rises as the cache share shrinks (trusted region)
+    trusted = result.curve.valid_points()
+    assert trusted[0].cpi > trusted[-1].cpi

@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 2 (LBM — flat CPI, bandwidth-bound scaling)."""
+
+import pytest
+
+from repro.experiments import fig2_lbm
+
+
+@pytest.mark.experiment
+def test_fig2_lbm_bandwidth_bound(run_once, scale):
+    result = run_once(fig2_lbm.run, scale)
+    print()
+    print(result.format())
+    # the CPI curve is (relatively) flat...
+    trusted = [p for p in result.curve.points if p.valid] or result.curve.points
+    cpis = [p.cpi for p in result.curve.points]
+    assert max(cpis) / min(cpis) < 1.35
+    # ...yet scaling is sub-ideal because bandwidth saturates
+    last = result.scaling[-1]
+    assert last.measured < last.ideal - 0.3
+    cross = result.crossover_instances()
+    assert cross is not None and cross <= 4
+    # measured aggregate bandwidth never exceeds the system maximum (much)
+    for row in result.bandwidth:
+        assert row.measured_gbps < result.max_bandwidth_gbps * 1.1
+    assert trusted  # at least the full-cache point must be trustworthy

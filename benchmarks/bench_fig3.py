@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 3 (LRU way-stealing equivalence)."""
+
+import pytest
+
+from repro.experiments import fig3_lru_stack
+
+
+@pytest.mark.experiment
+def test_fig3_way_stealing_equivalence(run_once, scale):
+    result = run_once(fig3_lru_stack.run, scale)
+    print()
+    print(result.format())
+    assert result.equivalent
+    assert result.mismatches == 0
+    # every step's Target-visible stack matches between the two caches
+    for step in result.steps:
+        assert step.stack_small == step.stack_big

@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 4 (micro benchmarks vs reference simulators)."""
+
+import pytest
+
+from repro.experiments import fig4_micro
+
+
+@pytest.mark.experiment
+def test_fig4_micro_vs_simulators(run_once, scale):
+    result = run_once(fig4_micro.run, scale)
+    print()
+    print(result.format())
+
+    # Fig. 4(a): for random accesses the LRU and Nehalem simulators agree
+    rand = result.by_name("random")
+    for row in rand.rows():
+        assert abs(row["lru_sim"] - row["nehalem_sim"]) < 0.03
+    # and the pirate tracks them where trusted
+    trusted = [r for r in rand.rows() if r["trusted"]]
+    assert trusted
+    for row in trusted:
+        assert abs(row["pirate"] - row["nehalem_sim"]) < 0.12
+
+    # Fig. 4(b)/(c): for sequential accesses the policies diverge somewhere,
+    # and the Nehalem simulator is the one closer to the pirate measurement
+    seq = result.by_name("sequential")
+    rows = [r for r in seq.rows() if r["trusted"]]
+    gaps_lru = [abs(r["pirate"] - r["lru_sim"]) for r in rows]
+    gaps_nru = [abs(r["pirate"] - r["nehalem_sim"]) for r in rows]
+    assert sum(gaps_nru) <= sum(gaps_lru) + 1e-9

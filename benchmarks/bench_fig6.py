@@ -1,0 +1,38 @@
+"""Bench: regenerate Figure 6 (pirate vs reference fetch-ratio curves)."""
+
+import pytest
+
+from repro.experiments import fig6_reference
+from repro.workloads.cigar import CIGAR_KNEE_MB
+
+#: shared across bench_fig6/bench_fig7 so the expensive comparison runs once
+_CACHE = {}
+
+
+def get_fig6(scale, run=None):
+    if "result" not in _CACHE:
+        runner = run or (lambda: fig6_reference.run(scale))
+        _CACHE["result"] = runner()
+    return _CACHE["result"]
+
+
+@pytest.mark.experiment
+def test_fig6_reference_comparison(run_once, scale):
+    result = run_once(get_fig6, scale)
+    print()
+    print(result.format())
+    for comp in result.comparisons:
+        # the pirate curve tracks the reference over trusted sizes
+        assert comp.error.absolute < 0.02, comp.benchmark
+        # the full-cache point is always trustworthy
+        assert comp.pirate.points[-1].valid, comp.benchmark
+
+    # cigar's distinctive jump at 6MB (§III-A): fetch ratio well below the
+    # knee is much higher than above it, on both curves
+    cigar = result.by_name("cigar")
+    below = cigar.pirate.fetch_ratio_at(CIGAR_KNEE_MB - 1.5)
+    above = cigar.pirate.fetch_ratio_at(8.0)
+    assert below > above + 0.05
+    assert cigar.reference.fetch_ratio_at(CIGAR_KNEE_MB - 1.5) > (
+        cigar.reference.fetch_ratio_at(8.0) + 0.05
+    )

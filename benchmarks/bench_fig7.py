@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 7 (absolute/relative fetch-ratio errors)."""
+
+import pytest
+
+from repro.experiments import fig7_errors
+from bench_fig6 import get_fig6
+
+
+@pytest.mark.experiment
+def test_fig7_error_chart(run_once, scale):
+    fig6 = get_fig6(scale)
+    result = run_once(fig7_errors.from_fig6, fig6)
+    print()
+    print(result.format())
+    # the paper's headline accuracy band: avg abs 0.2%, max abs 2.7%
+    assert result.avg_absolute < 0.005
+    assert result.max_absolute < 0.03
+    # relative errors exceed absolute ones once near-zero ratios divide
+    assert result.avg_relative >= result.avg_absolute

@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 8 (CPI/BW/fetch/miss curve gallery)."""
+
+import pytest
+
+from repro.experiments import fig8_curves
+
+
+@pytest.mark.experiment
+def test_fig8_curve_gallery(run_once, scale):
+    result = run_once(fig8_curves.run, scale)
+    print()
+    print(result.format())
+
+    # §IV read-outs, per benchmark archetype
+    # mcf: high CPI, latency-bound, fetch ~ miss
+    mcf = result.curves["mcf"]
+    assert mcf.points[-1].cpi > 2.5
+    assert result.prefetch_factor("mcf") < 2.0
+
+    # lbm: heavy prefetching (fetch >> miss), bandwidth rising as cache shrinks
+    assert result.prefetch_factor("lbm") > 4.0
+    lbm = result.curves["lbm"]
+    assert lbm.points[0].bandwidth_gbps > lbm.points[-1].bandwidth_gbps * 0.95
+
+    # gromacs: fetch == miss (no prefetchable pattern), flat CPI
+    assert result.prefetch_factor("gromacs") < 1.3
+    assert result.cpi_rise("gromacs") < 1.25
+
+    # sphinx3: latency-sensitive — CPI rises markedly at small caches
+    assert result.cpi_rise("sphinx3") > result.cpi_rise("gromacs")

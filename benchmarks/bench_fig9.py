@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 9 (lbm with hardware prefetching disabled)."""
+
+import pytest
+
+from repro.experiments import fig9_lbm_nopf
+
+
+@pytest.mark.experiment
+def test_fig9_lbm_prefetch_ablation(run_once, scale):
+    result = run_once(fig9_lbm_nopf.run, scale)
+    print()
+    print(result.format())
+    # fetch ratio and miss ratio are identical without prefetching
+    assert result.fetch_equals_miss_without_prefetch()
+    # CPI is higher at every cache size without prefetching
+    for p_off, p_on in zip(
+        result.without_prefetch.points, result.with_prefetch.points
+    ):
+        assert p_off.cpi > p_on.cpi
+    # bandwidth drops when prefetching is disabled (paper: by about a third)
+    assert result.bandwidth_drop() < 0.95
+    # the CPI curve is no longer flat: prefetching was compensating
+    assert result.cpi_flatness(False) > result.cpi_flatness(True)

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table I (cache hierarchy self-check)."""
+
+import pytest
+
+from repro.experiments import table1
+
+
+@pytest.mark.experiment
+def test_table1_hierarchy(run_once, scale):
+    result = run_once(table1.run, scale)
+    print()
+    print(result.format())
+    assert result.matches_paper

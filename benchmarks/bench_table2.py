@@ -1,0 +1,22 @@
+"""Bench: regenerate Table II (MB stolen vs Target slowdown) + §III-C stats."""
+
+import pytest
+
+from repro.experiments import table2_steal
+
+
+@pytest.mark.experiment
+def test_table2_steal_capacity(run_once, scale):
+    result = run_once(table2_steal.run, scale)
+    print()
+    print(result.format())
+    summary = result.summary()
+    # the paper's band: single-threaded average ~6.6MB of the 8MB cache
+    assert 4.0 <= summary["avg_1t"] <= 7.5
+    # a second thread never steals less
+    assert summary["avg_2t"] >= summary["avg_1t"] - 0.25
+    for row in result.rows:
+        assert 0.0 <= row.stolen_1t_mb <= 7.5
+        assert row.stolen_2t_mb >= row.stolen_1t_mb - 0.5
+        # the probe's slowdown is small at a 0.5MB steal
+        assert row.slowdown < 0.15

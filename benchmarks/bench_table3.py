@@ -1,0 +1,24 @@
+"""Bench: regenerate Table III (overhead & CPI error vs interval size)."""
+
+import pytest
+
+from repro.experiments import table3_overhead
+
+
+@pytest.mark.experiment
+def test_table3_overhead_and_error(run_once, scale):
+    result = run_once(table3_overhead.run, scale)
+    print()
+    print(result.format())
+    rows = result.rows()
+    labels = [r["interval_label"] for r in rows]
+    assert labels == list(result.interval_labels)
+    # overhead decreases as the interval grows (Table III's 6.6/5.5/5.1 trend)
+    overheads = [r["avg_overhead"] for r in rows]
+    assert overheads[0] > overheads[-1]
+    # gcc's phases make the largest interval the least accurate (the 23% cell)
+    assert result.gcc_error(result.interval_labels[-1]) > result.gcc_error(
+        result.interval_labels[0]
+    )
+    # removing gcc lowers the error at the largest interval
+    assert rows[-1]["avg_error_nogcc"] <= rows[-1]["avg_error"]

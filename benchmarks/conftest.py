@@ -1,0 +1,34 @@
+"""Benchmark-harness configuration.
+
+Every bench regenerates one of the paper's tables or figures at QUICK scale
+through ``benchmark.pedantic(rounds=1)`` — these are end-to-end experiment
+replays (seconds to minutes each), not micro benchmarks, so re-running them
+for statistics would only burn time.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments import QUICK
+
+
+def pytest_configure(config):
+    # a single label in the report: experiments run at QUICK scale
+    config.addinivalue_line("markers", "experiment: paper table/figure replay")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale benches run at."""
+    return QUICK
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

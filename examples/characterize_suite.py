@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Characterize the whole benchmark suite at two cache operating points.
+
+A compact §IV-style survey: for every suite benchmark, the Target's CPI,
+bandwidth and fetch/miss ratios at the full 8MB cache and at a 2MB share
+(what each instance would get with four co-runners), plus the derived
+sensitivity classification the paper walks through — capacity-sensitive,
+bandwidth-compensating, prefetch-reliant, or insensitive.
+
+Run:  python examples/characterize_suite.py [--benchmarks a,b,c]
+"""
+
+import argparse
+import sys
+import time
+
+from repro import BENCHMARK_NAMES, make_benchmark, measure_curve_dynamic
+
+
+def classify(cpi8, cpi2, bw8, bw2, fr2, mr2) -> str:
+    cpi_rise = cpi2 / cpi8 if cpi8 else 1.0
+    bw_rise = bw2 / bw8 if bw8 > 0.01 else 1.0
+    prefetch = fr2 / mr2 if mr2 > 0 else 1.0
+    if cpi_rise > 1.15:
+        return "capacity-sensitive"
+    if bw_rise > 1.5 and prefetch > 3:
+        return "prefetch-compensating"
+    if bw_rise > 1.5:
+        return "bandwidth-compensating"
+    return "insensitive"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--benchmarks", default="", help="comma-separated subset")
+    args = parser.parse_args()
+    names = [n for n in args.benchmarks.split(",") if n] or list(BENCHMARK_NAMES)
+
+    print(f"{'benchmark':12} {'CPI@8':>6} {'CPI@2':>6} {'BW@8':>6} {'BW@2':>6} "
+          f"{'fetch%@2':>9} {'miss%@2':>8}  class")
+    for name in names:
+        t0 = time.perf_counter()
+        curve = measure_curve_dynamic(
+            lambda: make_benchmark(name, seed=1),
+            [8.0, 2.0],
+            total_instructions=10e6,
+            interval_instructions=1e6,
+            compute_baseline=False,
+        ).curve
+        cpi8, cpi2 = curve.cpi_at(8.0), curve.cpi_at(2.0)
+        bw8, bw2 = curve.bandwidth_at(8.0), curve.bandwidth_at(2.0)
+        fr2 = curve.fetch_ratio_at(2.0)
+        mr2 = float(curve.miss_ratio[0])
+        label = classify(cpi8, cpi2, bw8, bw2, fr2, mr2)
+        print(
+            f"{name:12} {cpi8:6.2f} {cpi2:6.2f} {bw8:6.2f} {bw2:6.2f} "
+            f"{fr2 * 100:9.3f} {mr2 * 100:8.3f}  {label}"
+            f"   ({time.perf_counter() - t0:.0f}s)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""How much cache can the Pirate steal from a given application?
+
+Reproduces the §III-C workflow: sweep the Pirate's working set upward and
+watch its fetch ratio — the point where it crosses the 3% threshold is the
+steal capacity; then run the paper's thread probe (steal 0.5MB with one and
+two Pirate threads, compare the Target's CPI) to decide whether a second
+thread is safe.
+
+Run:  python examples/steal_capacity.py [benchmark]
+"""
+
+import sys
+
+from repro import choose_pirate_threads, make_benchmark, measure_fixed_size
+from repro.units import MB
+
+
+def main() -> int:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+
+    def factory():
+        return make_benchmark(benchmark, seed=1)
+
+    print(f"Pirate fetch ratio vs stolen size for {benchmark} (threshold 3%):")
+    print(f"{'stolen MB':>10} {'pirate FR%':>11} {'target CPI':>11} {'trusted':>8}")
+    for steps in range(2, 16):
+        stolen = steps * MB // 2
+        res = measure_fixed_size(
+            factory,
+            stolen,
+            interval_instructions=500_000,
+            n_intervals=1,
+            warmup_instructions=250_000,
+        )
+        s = res.samples[0]
+        print(
+            f"{stolen / MB:>10.1f} {s.pirate_fetch_ratio * 100:>11.2f} "
+            f"{s.target.cpi:>11.2f} {'y' if s.valid else 'NO':>8}"
+        )
+
+    print("\nthread probe (§III-C): is a second Pirate thread safe?")
+    probe = choose_pirate_threads(factory, max_threads=2, probe_instructions=500_000)
+    slow = probe.slowdown(2)
+    print(
+        f"cpi1={probe.cpi_by_threads[1]:.3f}  cpi2={probe.cpi_by_threads[2]:.3f}  "
+        f"slowdown={slow * 100:.2f}%  ->  use {probe.threads} thread(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Explaining multicore throughput scaling from pirate-captured curves.
+
+Reproduces the paper's motivating analysis (§I-A, Figs. 1-2) for any suite
+benchmark: capture the single-instance CPI and bandwidth curves with the
+Pirate, predict how 1-4 co-running instances should scale (equal cache
+sharing + the off-chip bandwidth cap), then actually co-run them and
+compare.
+
+Two instructive cases:
+  python examples/throughput_scaling.py omnetpp   # cache-capacity limited
+  python examples/throughput_scaling.py lbm       # bandwidth limited
+"""
+
+import sys
+
+from repro import make_benchmark, measure_curve_dynamic, measure_throughput, predict_throughput
+from repro import nehalem_config
+
+
+def main() -> int:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "omnetpp"
+    config = nehalem_config()
+    l3_mb = config.l3.size / (1024 * 1024)
+
+    print(f"1) capturing {benchmark}'s curves with the Pirate...")
+    curve = measure_curve_dynamic(
+        lambda: make_benchmark(benchmark, seed=1),
+        [8.0, 6.0, 4.0, 2.0, 1.0, 0.5],
+        total_instructions=16e6,
+        interval_instructions=1e6,
+        compute_baseline=False,
+    ).curve
+    print(curve.format_table())
+
+    print("\n2) predicting and measuring 1-4 instance scaling...")
+    print(f"{'instances':>10} {'measured':>9} {'predicted':>10} {'ideal':>6} "
+          f"{'req. BW':>8} {'limited':>8}")
+    for k in range(1, config.num_cores + 1):
+        pred = predict_throughput(
+            curve, k, l3_mb=l3_mb, max_bandwidth_gbps=config.dram_bandwidth_gbps
+        )
+        meas = measure_throughput(
+            lambda i: make_benchmark(benchmark, instance=i, seed=1 + i),
+            k,
+            1_000_000,
+        )
+        print(
+            f"{k:>10d} {meas.throughput:9.2f} {pred.throughput:10.2f} {k:6d} "
+            f"{pred.required_bandwidth_gbps:7.1f}G {'yes' if pred.bandwidth_limited else 'no':>8}"
+        )
+
+    print(
+        "\nIf 'limited' turns yes, scaling is capped by the memory system "
+        f"({config.dram_bandwidth_gbps:.1f} GB/s), not by cache capacity — "
+        "the paper's LBM case."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Analysis on top of pirate-captured curves.
+
+:mod:`repro.analysis.scaling` implements the paper's motivating use case
+(§I-A): predicting multi-instance throughput scaling from a single-instance
+CPI curve plus a bandwidth cap, and measuring the actual scaling to compare.
+:mod:`repro.analysis.errors` computes the Fig. 7 absolute/relative fetch-
+ratio error metrics between Pirate and reference curves.
+:mod:`repro.analysis.report` renders the paper's tables as text.
+:mod:`repro.analysis.reuse` adds reuse-distance (stack-distance) profiling
+and a fully-associative-LRU miss model (the paper's ref [6] lineage).
+:mod:`repro.analysis.phases` detects program phases from measurement
+intervals — the §II-C1 validity check for dynamic pirating.
+:mod:`repro.analysis.plot` renders curves as ASCII charts.
+"""
+
+from .scaling import (
+    ScalingPrediction,
+    ThroughputMeasurement,
+    measure_throughput,
+    predict_throughput,
+)
+from .errors import CurveError, curve_errors
+from .report import format_table1, format_table2, format_table3
+from .reuse import ReuseProfile, reuse_distances, reuse_profile
+from .plot import ascii_plot
+from .phases import Phase, PhaseReport, detect_phases, phase_report
+
+__all__ = [
+    "ScalingPrediction",
+    "ThroughputMeasurement",
+    "measure_throughput",
+    "predict_throughput",
+    "CurveError",
+    "curve_errors",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "ReuseProfile",
+    "reuse_distances",
+    "reuse_profile",
+    "ascii_plot",
+    "Phase",
+    "PhaseReport",
+    "detect_phases",
+    "phase_report",
+]

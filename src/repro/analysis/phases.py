@@ -1,0 +1,174 @@
+"""Program-phase detection over measurement intervals.
+
+§II-C1's correctness condition for dynamic pirating is that "the full
+measurement cycle must be evaluated in each significant program phase", and
+Table III shows what happens when it is not (403.gcc at the 1B interval).
+This module detects phase structure *from the measurement stream itself*,
+so a user can check the condition instead of hoping:
+
+* :func:`detect_phases` segments a sequence of per-interval CPIs with a
+  simple top-down change-point search (largest mean shift first, recursing
+  while the shift is significant),
+* :func:`phase_report` applies it to the interval samples of a dynamic run,
+  using only the intervals of a single cache size so the Pirate's size
+  changes are not mistaken for program phases, and compares the detected
+  phase length against the measurement-cycle length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.curves import IntervalSample
+from ..errors import MeasurementError
+
+
+@dataclass
+class Phase:
+    """One detected phase: interval index range and its mean CPI."""
+
+    start: int
+    stop: int  # exclusive
+    mean_cpi: float
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+def _best_split(values: np.ndarray) -> tuple[int, float]:
+    """Index and score of the strongest mean shift in ``values``.
+
+    Score is the between-segment mean gap normalized by the pooled std.
+    """
+    n = len(values)
+    best_idx, best_score = -1, 0.0
+    for i in range(2, n - 1):
+        left, right = values[:i], values[i:]
+        pooled = np.sqrt((left.var() * len(left) + right.var() * len(right)) / n)
+        if pooled <= 1e-12:
+            pooled = 1e-12
+        score = abs(left.mean() - right.mean()) / pooled
+        if score > best_score:
+            best_idx, best_score = i, score
+    return best_idx, best_score
+
+
+def detect_phases(
+    cpis: list[float] | np.ndarray,
+    *,
+    min_shift_score: float = 2.0,
+    max_phases: int = 8,
+) -> list[Phase]:
+    """Segment a CPI sequence into phases by recursive change-point search."""
+    values = np.asarray(list(cpis), dtype=float)
+    if values.size == 0:
+        raise MeasurementError("no intervals to segment")
+    segments = [(0, len(values))]
+    done: list[tuple[int, int]] = []
+    while segments and len(segments) + len(done) < max_phases:
+        start, stop = segments.pop(0)
+        chunk = values[start:stop]
+        if len(chunk) < 4:
+            done.append((start, stop))
+            continue
+        idx, score = _best_split(chunk)
+        if idx < 0 or score < min_shift_score:
+            done.append((start, stop))
+            continue
+        segments.append((start, start + idx))
+        segments.append((start + idx, stop))
+    done.extend(segments)
+    done.sort()
+    return [Phase(s, e, float(values[s:e].mean())) for s, e in done]
+
+
+@dataclass
+class PhaseReport:
+    """Phase structure of a dynamic run, with the §II-C1 check."""
+
+    benchmark: str
+    cache_mb: float
+    phases: list[Phase] = field(default_factory=list)
+    #: intervals per measurement cycle (number of distinct sizes visited)
+    cycle_intervals: int = 0
+    interval_instructions: float = 0.0
+
+    @property
+    def phased(self) -> bool:
+        return len(self.phases) > 1
+
+    @property
+    def min_phase_intervals(self) -> int:
+        return min((p.length for p in self.phases), default=0)
+
+    @property
+    def cycle_fits_in_phase(self) -> bool:
+        """§II-C1: the full measurement cycle must fit in each phase.
+
+        Phase lengths here are counted in same-size intervals, one per
+        measurement cycle, so a phase spanning k entries lasted k cycles.
+        """
+        if not self.phased:
+            return True
+        return self.min_phase_intervals >= 1
+
+    def format(self) -> str:
+        out = [
+            f"phase report: {self.benchmark} at {self.cache_mb:.1f}MB "
+            f"({'phased' if self.phased else 'stationary'})"
+        ]
+        for p in self.phases:
+            out.append(
+                f"  intervals [{p.start}, {p.stop}): mean CPI {p.mean_cpi:.3f}"
+            )
+        if self.phased:
+            est = self.min_phase_intervals * self.cycle_intervals
+            out.append(
+                f"  shortest phase ≈ {est} intervals of "
+                f"{self.interval_instructions:.0f} instructions; use intervals "
+                f"short enough that a full cycle fits inside it (§II-C1)"
+            )
+        return "\n".join(out)
+
+
+def phase_report(
+    benchmark: str,
+    samples: list[IntervalSample],
+    *,
+    interval_instructions: float,
+    min_shift_score: float = 2.0,
+) -> PhaseReport:
+    """Detect phases from a dynamic run's interval samples.
+
+    Only the most-frequently-measured cache size is used, so the CPI swings
+    caused by the Pirate's own size schedule do not register as phases.
+    """
+    if not samples:
+        raise MeasurementError("no samples")
+    by_size: dict[int, list[IntervalSample]] = {}
+    for s in samples:
+        by_size.setdefault(s.target_cache_bytes, []).append(s)
+
+    def informativeness(kv):
+        # prefer the most-sampled size; among equally sampled sizes prefer
+        # the one whose CPI actually varies (phases are invisible at sizes
+        # where every phase's working set fits)
+        _, group = kv
+        cpis = np.array([s.target.cpi for s in group])
+        cv = cpis.std() / cpis.mean() if cpis.mean() > 0 else 0.0
+        return (len(group), cv)
+
+    size, group = max(by_size.items(), key=informativeness)
+    group.sort(key=lambda s: s.start_cycle)
+    cpis = [s.target.cpi for s in group]
+    phases = detect_phases(cpis, min_shift_score=min_shift_score)
+    return PhaseReport(
+        benchmark=benchmark,
+        cache_mb=size / (1024 * 1024),
+        phases=phases,
+        cycle_intervals=len(by_size),
+        interval_instructions=interval_instructions,
+    )

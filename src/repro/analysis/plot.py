@@ -1,0 +1,116 @@
+"""Terminal (ASCII) plots for curves — the figure renderer of this repo.
+
+The paper's figures are line charts of metric-vs-cache-size (or vs
+instances); this module renders the same shapes in plain text so the
+experiment reports and EXPERIMENTS.md can show curve *shapes*, not just
+tables, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    title: str = "",
+    markers: str = "*o+x#@",
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render one or more (x, y) series as an ASCII chart.
+
+    Points are plotted on a ``width``x``height`` grid with linear scales;
+    overlapping series keep the marker of the first series plotted there.
+    Returns a multi-line string (also usable in pytest ``-s`` output).
+    """
+    xs = np.asarray(list(xs), dtype=float)
+    if xs.size < 2:
+        raise ReproError("need at least two x values to plot")
+    if not series:
+        raise ReproError("need at least one series")
+    ys_all = []
+    for name, ys in series.items():
+        ys = np.asarray(list(ys), dtype=float)
+        if ys.shape != xs.shape:
+            raise ReproError(f"series {name!r} length mismatch")
+        ys_all.append(ys)
+    lo = min(float(np.nanmin(y)) for y in ys_all) if y_min is None else y_min
+    hi = max(float(np.nanmax(y)) for y in ys_all) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(series.items(), markers):
+        ys = np.asarray(list(ys), dtype=float)
+        # dense interpolation so lines read as lines, not dots
+        xi = np.linspace(x_lo, x_hi, width * 2)
+        order = np.argsort(xs)
+        yi = np.interp(xi, xs[order], ys[order])
+        for xv, yv in zip(xi, yi):
+            col = int((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - int((min(max(yv, lo), hi) - lo) / (hi - lo) * (height - 1))
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{m}={name}" for (name, _), m in zip(series.items(), markers)
+    )
+    lines.append(legend)
+    top_label = f"{hi:.3g}"
+    bottom_label = f"{lo:.3g}"
+    label_w = max(len(top_label), len(bottom_label), len(y_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(label_w)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(label_w)
+        elif r == height // 2 and y_label:
+            prefix = y_label.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width - 6) + f"{x_hi:.3g}"
+    lines.append(" " * label_w + "  " + x_axis + ("  " + x_label if x_label else ""))
+    return "\n".join(lines)
+
+
+def plot_performance_curve(curve, metric: str = "cpi", **kwargs) -> str:
+    """Plot one metric of a :class:`~repro.core.curves.PerformanceCurve`."""
+    ys = getattr(curve, metric)
+    return ascii_plot(
+        curve.cache_mb,
+        {metric: ys},
+        x_label="cache MB",
+        title=kwargs.pop("title", f"{curve.benchmark}: {metric} vs cache size"),
+        **kwargs,
+    )
+
+
+def plot_pirate_vs_reference(pirate, reference, **kwargs) -> str:
+    """Fig. 6-style overlay of Pirate and reference fetch-ratio curves."""
+    xs = pirate.cache_mb
+    ref = [reference.fetch_ratio_at(x) for x in xs]
+    return ascii_plot(
+        xs,
+        {"pirate": pirate.fetch_ratio, "reference": ref},
+        x_label="cache MB",
+        y_label="FR",
+        title=kwargs.pop("title", f"{pirate.benchmark}: fetch ratio, pirate vs reference"),
+        **kwargs,
+    )

@@ -1,0 +1,27 @@
+"""Set-associative cache models, replacement policies and the Table I hierarchy.
+
+This package is the memory-system substrate the Cache Pirating technique runs
+on: single caches (:mod:`repro.caches.setassoc`), the Nehalem accessed-bit
+replacement policy the paper describes in §II-B2 (:mod:`repro.caches.policies`),
+a per-core stream prefetcher (:mod:`repro.caches.prefetch`) and the full
+L1/L2/L3 inclusive hierarchy (:mod:`repro.caches.hierarchy`).
+"""
+
+from .base import AccessResult, CacheLevelStats, CoreMemStats
+from .setassoc import LRUCache, NRUCache, PLRUCache, RandomCache, SetAssocCache, make_cache
+from .prefetch import StreamPrefetcher
+from .hierarchy import CacheHierarchy
+
+__all__ = [
+    "AccessResult",
+    "CacheLevelStats",
+    "CoreMemStats",
+    "SetAssocCache",
+    "LRUCache",
+    "NRUCache",
+    "PLRUCache",
+    "RandomCache",
+    "make_cache",
+    "StreamPrefetcher",
+    "CacheHierarchy",
+]

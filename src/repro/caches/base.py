@@ -1,0 +1,117 @@
+"""Shared datatypes for the cache models.
+
+The simulator counts events in plain integer fields (no numpy scalars) because
+the per-access loop is the hot path; everything here is designed to be cheap
+to update and cheap to snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one access to a single cache.
+
+    ``hit`` is True when the line was present.  On a miss that caused an
+    eviction, ``victim_tag`` holds the evicted line's tag (``None`` when an
+    invalid way was filled) and ``victim_dirty`` whether it needs writeback.
+    """
+
+    hit: bool
+    victim_tag: int | None = None
+    victim_dirty: bool = False
+
+
+@dataclass
+class CacheLevelStats:
+    """Aggregate counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    fills: int = 0
+    invalidations: int = 0
+
+    def snapshot(self) -> "CacheLevelStats":
+        """Copy of the current counter values."""
+        return CacheLevelStats(
+            accesses=self.accesses,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            writebacks=self.writebacks,
+            fills=self.fills,
+            invalidations=self.invalidations,
+        )
+
+    def delta(self, earlier: "CacheLevelStats") -> "CacheLevelStats":
+        """Counter increments since ``earlier`` (a prior :meth:`snapshot`)."""
+        return CacheLevelStats(
+            accesses=self.accesses - earlier.accesses,
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+            writebacks=self.writebacks - earlier.writebacks,
+            fills=self.fills - earlier.fills,
+            invalidations=self.invalidations - earlier.invalidations,
+        )
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access (0 when idle)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class CoreMemStats:
+    """Per-core memory-system event counts for one chunk of execution.
+
+    This is what the hierarchy hands back to the core timing model and what
+    the simulated performance counters expose.  ``l3_fetches`` counts every
+    line brought on-chip on this core's behalf (demand misses *and* prefetch
+    fills), matching the paper's *fetch* definition (§I-B); ``l3_misses``
+    counts demand misses only.
+    """
+
+    instructions: int = 0
+    mem_accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    l3_hits: int = 0
+    l3_misses: int = 0
+    l3_fetches: int = 0
+    prefetch_fills: int = 0
+    prefetch_useless: int = 0
+    dram_writeback_lines: int = 0
+
+    def add(self, other: "CoreMemStats") -> None:
+        """Accumulate another chunk's counts into this one."""
+        self.instructions += other.instructions
+        self.mem_accesses += other.mem_accesses
+        self.l1_hits += other.l1_hits
+        self.l2_hits += other.l2_hits
+        self.l3_hits += other.l3_hits
+        self.l3_misses += other.l3_misses
+        self.l3_fetches += other.l3_fetches
+        self.prefetch_fills += other.prefetch_fills
+        self.prefetch_useless += other.prefetch_useless
+        self.dram_writeback_lines += other.dram_writeback_lines
+
+    @property
+    def fetch_ratio(self) -> float:
+        """Fetches per memory access — the paper's headline metric."""
+        return self.l3_fetches / self.mem_accesses if self.mem_accesses else 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Demand L3 misses per memory access."""
+        return self.l3_misses / self.mem_accesses if self.mem_accesses else 0.0
+
+    @property
+    def dram_lines(self) -> int:
+        """Total lines moved over the off-chip interface (fills + writebacks)."""
+        return self.l3_fetches + self.dram_writeback_lines

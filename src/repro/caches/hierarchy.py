@@ -1,0 +1,280 @@
+"""The full Table I cache hierarchy: private L1/L2, shared inclusive L3.
+
+One :class:`CacheHierarchy` instance is the memory system of the simulated
+machine (``repro.hardware``) *and* the engine of the trace-driven reference
+simulator (``repro.reference``) — the paper validates the former against the
+latter, so both intentionally share this implementation with different
+configurations driving them.
+
+Semantics modelled (all load-bearing for the paper's experiments):
+
+* write-allocate, write-back at every level,
+* non-inclusive private L2 (dirty L1 victims are installed into L2),
+* **inclusive shared L3**: evicting an L3 line back-invalidates every core's
+  L1/L2 copy.  This is why stealing L3 ways also shrinks the Target's
+  effective private capacity on Nehalem, and the simulation keeps it,
+* demand fetches vs prefetch fetches counted separately per core (§I-B),
+* a per-core stream prefetcher training on L2 misses and filling the L3.
+
+The per-access loop is the hottest code in the library: it uses the caches'
+int-code protocol (no allocation per access), pre-bound locals, and inlined
+set/tag splitting.  ``access_chunk(..., bypass_private=True)`` additionally
+skips the private levels — exact for streaming threads whose reuse distance
+exceeds the L2 (the Pirate; see ``repro.core.pirate``) and used only there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MachineConfig
+from .base import CoreMemStats
+from .prefetch import StreamPrefetcher
+from .setassoc import MISS_DIRTY, SetAssocCache, make_cache
+
+
+class CacheHierarchy:
+    """Private L1/L2 per core plus one shared L3."""
+
+    def __init__(self, config: MachineConfig, seed: int = 0):
+        self.config = config
+        n = config.num_cores
+        self.l1: list[SetAssocCache] = [make_cache(config.l1, seed) for _ in range(n)]
+        self.l2: list[SetAssocCache] = [make_cache(config.l2, seed) for _ in range(n)]
+        self.l3: SetAssocCache = make_cache(config.l3, seed)
+        self.prefetchers: list[StreamPrefetcher | None] = [
+            StreamPrefetcher(config.prefetch_trigger, config.prefetch_degree)
+            if config.prefetch_enabled
+            else None
+            for _ in range(n)
+        ]
+        #: cumulative per-core stats since construction.
+        self.totals: list[CoreMemStats] = [CoreMemStats() for _ in range(n)]
+        #: L3 line -> core that fetched it; lets back-invalidation visit one
+        #: core instead of all (exact for disjoint per-thread address spaces,
+        #: see ``MachineConfig.private_data``).
+        self._owner: dict[int, int] = {}
+        self._private_data: bool = config.private_data
+
+    # -- single access (diagnostics / tiny tests) ----------------------------
+
+    def access(self, core: int, line: int, is_write: bool = False) -> CoreMemStats:
+        """Run one demand access through the hierarchy; returns its stats."""
+        return self.access_chunk(core, [line], [is_write] if is_write else None)
+
+    # -- hot path --------------------------------------------------------------
+
+    def access_chunk(
+        self,
+        core: int,
+        lines,
+        writes=None,
+        bypass_private: bool = False,
+    ) -> CoreMemStats:
+        """Run a sequence of demand accesses for ``core``.
+
+        ``lines`` is a sequence of line addresses (numpy arrays are converted
+        once); ``writes`` is an optional parallel boolean sequence (all-read
+        when omitted).  Returns the chunk's :class:`CoreMemStats` and folds it
+        into :attr:`totals`.
+        """
+        if isinstance(lines, np.ndarray):
+            lines = lines.tolist()
+        if isinstance(writes, np.ndarray):
+            writes = writes.tolist()
+
+        if bypass_private:
+            stats = self._access_chunk_l3_only(core, lines, writes)
+        else:
+            stats = self._access_chunk_full(core, lines, writes)
+        self.totals[core].add(stats)
+        return stats
+
+    def _access_chunk_full(self, core: int, lines, writes) -> CoreMemStats:
+        l1 = self.l1[core]
+        l2 = self.l2[core]
+        l3 = self.l3
+        pf = self.prefetchers[core]
+
+        l1_code = l1._access_code
+        l2_code = l2._access_code
+        l3_code = l3._access_code
+        l3_fill = l3._fill_code
+        l3_probe = l3.probe
+        pf_observe = pf.observe if pf is not None else None
+        owner = self._owner
+
+        m1, b1 = l1.set_mask, l1.tag_shift
+        m2, b2 = l2.set_mask, l2.tag_shift
+        m3, b3 = l3.set_mask, l3.tag_shift
+
+        stats = CoreMemStats()
+        n = len(lines)
+        stats.mem_accesses = n
+        l1_hits = 0
+        l2_hits = 0
+        l3_hits = 0
+        l3_misses = 0
+        l3_fetches = 0
+        pf_fills = 0
+        wb_lines = 0
+
+        for i in range(n):
+            line = lines[i]
+            w = False if writes is None else writes[i]
+
+            c1 = l1_code(line & m1, line >> b1, w)
+            if c1 == 0:  # HIT
+                l1_hits += 1
+                continue
+            if c1 == 3:  # MISS_DIRTY: install the dirty L1 victim into L2
+                wb_lines += self._install_dirty_l2(core, l1.join(line & m1, l1.victim_tag))
+
+            c2 = l2_code(line & m2, line >> b2, False)
+            if c2 == 0:
+                l2_hits += 1
+                continue
+            if c2 == 3:
+                wb_lines += self._writeback_to_l3(l2.join(line & m2, l2.victim_tag))
+
+            # demand access reaches the shared L3
+            c3 = l3_code(line & m3, line >> b3, False)
+            if c3 == 0:
+                l3_hits += 1
+            else:
+                l3_misses += 1
+                l3_fetches += 1
+                owner[line] = core
+                if c3 >= 2:  # eviction happened
+                    wb_lines += self._back_invalidate(
+                        l3.join(line & m3, l3.victim_tag), c3 == 3
+                    )
+            if pf_observe is not None:
+                for pline in pf_observe(line):
+                    ps = pline & m3
+                    pt = pline >> b3
+                    if l3_probe(ps, pt) < 0:
+                        pc = l3_fill(ps, pt, False)
+                        l3_fetches += 1
+                        pf_fills += 1
+                        owner[pline] = core
+                        if pc >= 2:
+                            wb_lines += self._back_invalidate(
+                                l3.join(ps, l3.victim_tag), pc == 3
+                            )
+
+        stats.l1_hits = l1_hits
+        stats.l2_hits = l2_hits
+        stats.l3_hits = l3_hits
+        stats.l3_misses = l3_misses
+        stats.l3_fetches = l3_fetches
+        stats.prefetch_fills = pf_fills
+        stats.dram_writeback_lines = wb_lines
+        return stats
+
+    def _access_chunk_l3_only(self, core: int, lines, writes) -> CoreMemStats:
+        """Streaming fast path: demand accesses go straight to the L3.
+
+        Exact for a thread whose per-line reuse distance exceeds its private
+        L2 capacity (every access would miss L1/L2 anyway); the Pirate's
+        linear sweep over a multi-MB working set qualifies.  The prefetcher
+        is *not* engaged: the Pirate's fetch ratio must count every line it
+        loses from the L3 (§II-A), so prefetch-covering its misses would
+        defeat the monitor.
+        """
+        l3 = self.l3
+        l3_code = l3._access_code
+        m3, b3 = l3.set_mask, l3.tag_shift
+        owner = self._owner
+
+        stats = CoreMemStats()
+        n = len(lines)
+        stats.mem_accesses = n
+        l3_hits = 0
+        l3_misses = 0
+        wb_lines = 0
+
+        for i in range(n):
+            line = lines[i]
+            w = False if writes is None else writes[i]
+            c3 = l3_code(line & m3, line >> b3, w)
+            if c3 == 0:
+                l3_hits += 1
+            else:
+                l3_misses += 1
+                owner[line] = core
+                if c3 >= 2:
+                    wb_lines += self._back_invalidate(
+                        l3.join(line & m3, l3.victim_tag), c3 == 3
+                    )
+
+        stats.l3_hits = l3_hits
+        stats.l3_misses = l3_misses
+        stats.l3_fetches = l3_misses
+        stats.dram_writeback_lines = wb_lines
+        return stats
+
+    # -- write-back plumbing ----------------------------------------------------
+
+    def _install_dirty_l2(self, core: int, line: int) -> int:
+        """Install a dirty L1 victim into L2; returns DRAM writebacks caused."""
+        l2 = self.l2[core]
+        s = line & l2.set_mask
+        code = l2._fill_code(s, line >> l2.tag_shift, True)
+        if code == MISS_DIRTY:
+            return self._writeback_to_l3(l2.join(s, l2.victim_tag))
+        return 0
+
+    def _writeback_to_l3(self, line: int) -> int:
+        """Dirty L2 victim written back; returns 1 if it had to go to DRAM."""
+        l3 = self.l3
+        if l3.mark_dirty(line & l3.set_mask, line >> l3.tag_shift):
+            return 0
+        # inclusion means this should not happen; be safe and count the line
+        return 1
+
+    def _back_invalidate(self, line: int, l3_dirty: bool) -> int:
+        """Inclusive-L3 eviction: purge ``line`` from every private cache.
+
+        Returns the number of DRAM writeback lines (0 or 1): the line goes to
+        memory once if any cached copy was dirty.
+        """
+        dirty = l3_dirty
+        owner = self._owner.pop(line, -1)
+        if self._private_data and owner >= 0:
+            l1 = self.l1[owner]
+            present, was_dirty = l1.invalidate(line & l1.set_mask, line >> l1.tag_shift)
+            if present and was_dirty:
+                dirty = True
+            l2 = self.l2[owner]
+            present, was_dirty = l2.invalidate(line & l2.set_mask, line >> l2.tag_shift)
+            if present and was_dirty:
+                dirty = True
+            return 1 if dirty else 0
+        for l1 in self.l1:
+            present, was_dirty = l1.invalidate(line & l1.set_mask, line >> l1.tag_shift)
+            if present and was_dirty:
+                dirty = True
+        for l2 in self.l2:
+            present, was_dirty = l2.invalidate(line & l2.set_mask, line >> l2.tag_shift)
+            if present and was_dirty:
+                dirty = True
+        return 1 if dirty else 0
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Empty every cache and forget prefetch streams (fresh machine)."""
+        for c in self.l1:
+            c.flush()
+        for c in self.l2:
+            c.flush()
+        self.l3.flush()
+        self._owner.clear()
+        for pf in self.prefetchers:
+            if pf is not None:
+                pf.reset()
+
+    def l3_resident(self, line: int) -> bool:
+        """True when ``line`` is currently in the shared L3."""
+        return self.l3.probe(line & self.l3.set_mask, line >> self.l3.tag_shift) >= 0

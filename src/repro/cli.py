@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The tool a user of the real Cache Pirate would have been handed:
+
+* ``list`` — the synthetic benchmark suite,
+* ``curve BENCH`` — CPI/BW/fetch/miss vs cache size from one execution
+  (dynamic pirating), as a table and optional ASCII plot,
+* ``steal BENCH`` — Pirate fetch ratio vs stolen size + the max it can steal,
+* ``probe BENCH`` — the §III-C thread-count probe,
+* ``bandwidth BENCH`` — the Bandwidth Bandit extension: CPI vs available
+  off-chip bandwidth,
+* ``reuse BENCH`` — reuse-distance profile and model-predicted miss curve,
+* ``experiments`` — regenerate the paper's tables/figures (see
+  ``repro.experiments.runall``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .analysis.plot import plot_performance_curve
+from .analysis.reuse import reuse_profile
+from .core import choose_pirate_threads, measure_curve_dynamic, measure_fixed_size
+from .core.bandit import measure_bandwidth_curve
+from .tracing import capture_trace
+from .units import MB
+from .workloads import BENCHMARK_NAMES, benchmark_spec, make_benchmark, make_cigar
+
+
+def _factory(name: str, seed: int) -> Callable:
+    if name == "cigar":
+        return lambda: make_cigar(seed=seed)
+    return lambda: make_benchmark(name, seed=seed)
+
+
+def _parse_sizes(text: str) -> list[float]:
+    return [float(s) for s in text.split(",") if s]
+
+
+def cmd_list(args, out=print) -> int:
+    out(f"{'name':12} {'SPEC id':16} {'footprint MB':>13}  note")
+    for name in BENCHMARK_NAMES:
+        spec = benchmark_spec(name)
+        out(f"{name:12} {spec.spec_id:16} {spec.footprint_mb():13.1f}  {spec.note}")
+    out(f"{'cigar':12} {'(GA benchmark)':16} {6.15:13.1f}  6MB fetch-ratio knee (Fig. 6)")
+    return 0
+
+
+def cmd_curve(args, out=print) -> int:
+    result = measure_curve_dynamic(
+        _factory(args.benchmark, args.seed),
+        _parse_sizes(args.sizes),
+        total_instructions=args.total,
+        interval_instructions=args.interval,
+        benchmark=args.benchmark,
+        seed=args.seed,
+    )
+    out(result.curve.format_table())
+    out(f"overhead vs running alone: {result.overhead * 100:.1f}%")
+    if args.plot:
+        for metric in ("cpi", "bandwidth_gbps", "fetch_ratio"):
+            out("")
+            out(plot_performance_curve(result.curve, metric))
+    return 0
+
+
+def cmd_steal(args, out=print) -> int:
+    out(f"{'stolen MB':>10} {'pirate FR%':>11} {'target CPI':>11} {'ok':>3}")
+    best = 0.0
+    for step in range(1, 16):
+        stolen = step * MB // 2
+        res = measure_fixed_size(
+            _factory(args.benchmark, args.seed),
+            stolen,
+            num_pirate_threads=args.threads,
+            interval_instructions=args.interval,
+            n_intervals=1,
+            warmup_instructions=args.interval / 2,
+            seed=args.seed,
+        )
+        s = res.samples[0]
+        ok = s.valid
+        if ok:
+            best = stolen / MB
+        out(
+            f"{stolen / MB:>10.1f} {s.pirate_fetch_ratio * 100:>11.2f} "
+            f"{s.target.cpi:>11.2f} {'y' if ok else 'NO':>3}"
+        )
+    out(f"max stealable with {args.threads} thread(s): {best:.1f}MB")
+    return 0
+
+
+def cmd_probe(args, out=print) -> int:
+    probe = choose_pirate_threads(
+        _factory(args.benchmark, args.seed),
+        max_threads=args.max_threads,
+        probe_instructions=args.interval,
+        seed=args.seed,
+    )
+    for k, cpi in sorted(probe.cpi_by_threads.items()):
+        out(f"{k} pirate thread(s): target CPI {cpi:.3f}")
+    if args.max_threads > 1:
+        out(f"slowdown of 2 vs 1: {probe.slowdown(2) * 100:.2f}%")
+    out(f"-> safe pirate thread count: {probe.threads}")
+    return 0
+
+
+def cmd_bandwidth(args, out=print) -> int:
+    gaps = [float(g) for g in args.gaps.split(",") if g]
+    curve = measure_bandwidth_curve(
+        _factory(args.benchmark, args.seed),
+        gaps,
+        interval_instructions=args.interval,
+        warmup_instructions=args.interval,
+        benchmark=args.benchmark,
+        seed=args.seed,
+    )
+    out(curve.format_table())
+    return 0
+
+
+def cmd_reuse(args, out=print) -> int:
+    trace = capture_trace(
+        _factory(args.benchmark, args.seed)(), 0, args.window, benchmark=args.benchmark
+    )
+    prof = reuse_profile(trace, skip_fraction=0.25)
+    out(prof.format_table(_parse_sizes(args.sizes)))
+    out(f"working-set estimate: {prof.working_set_mb():.2f}MB")
+    return 0
+
+
+def cmd_experiments(args, out=print) -> int:
+    from .experiments.runall import main as runall_main
+
+    argv = ["--scale", args.scale]
+    if args.only:
+        argv += ["--only", args.only]
+    return runall_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Cache Pirating (ICPP 2011) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite").set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("curve", help="performance vs cache size (dynamic pirating)")
+    p.add_argument("benchmark")
+    p.add_argument("--sizes", default="8.0,6.0,4.0,2.0,1.0,0.5")
+    p.add_argument("--total", type=float, default=16e6)
+    p.add_argument("--interval", type=float, default=1e6)
+    p.add_argument("--plot", action="store_true")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_curve)
+
+    p = sub.add_parser("steal", help="how much cache the Pirate can steal")
+    p.add_argument("benchmark")
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--interval", type=float, default=5e5)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_steal)
+
+    p = sub.add_parser("probe", help="pirate thread-count probe (§III-C)")
+    p.add_argument("benchmark")
+    p.add_argument("--max-threads", type=int, default=2)
+    p.add_argument("--interval", type=float, default=4e5)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_probe)
+
+    p = sub.add_parser("bandwidth", help="CPI vs available bandwidth (Bandit)")
+    p.add_argument("benchmark")
+    p.add_argument("--gaps", default="60,20,6,2,0.5")
+    p.add_argument("--interval", type=float, default=4e5)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_bandwidth)
+
+    p = sub.add_parser("reuse", help="reuse-distance profile and miss model")
+    p.add_argument("benchmark")
+    p.add_argument("--window", type=float, default=2e6)
+    p.add_argument("--sizes", default="0.5,1,2,4,8")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_reuse)
+
+    p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
+    p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    p.add_argument("--only", default="")
+    p.set_defaults(fn=cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None, out=print) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "benchmark", None) is not None:
+        known = set(BENCHMARK_NAMES) | {"cigar"}
+        if args.benchmark not in known:
+            out(f"unknown benchmark {args.benchmark!r}; try: python -m repro list")
+            return 2
+    return args.fn(args, out=out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

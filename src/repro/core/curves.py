@@ -1,0 +1,215 @@
+"""Performance-vs-cache-size curve containers.
+
+A :class:`PerformanceCurve` is the Cache Pirating deliverable: for each
+Target cache size, the Target's CPI, off-chip bandwidth, fetch ratio and
+miss ratio, plus the Pirate fetch ratio that validates the point.  Figures
+1(b), 2(b), 2(c), 6, 8 and 9 are all renderings of these curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..hardware.counters import CounterSample
+
+
+@dataclass
+class IntervalSample:
+    """One measurement interval of the Target under a given Pirate size."""
+
+    #: cache available to the Target during the interval (bytes)
+    target_cache_bytes: int
+    #: Target counter delta over the interval
+    target: CounterSample
+    #: Pirate aggregate fetch ratio over the interval
+    pirate_fetch_ratio: float
+    #: whether the Pirate held its working set (fetch ratio <= threshold)
+    valid: bool
+    #: machine frontier time at interval start (cycles)
+    start_cycle: float = 0.0
+    #: wall duration of the interval (cycles)
+    wall_cycles: float = 0.0
+
+
+@dataclass
+class CurvePoint:
+    """Aggregated Target metrics at one cache size."""
+
+    cache_bytes: int
+    cpi: float
+    bandwidth_gbps: float
+    fetch_ratio: float
+    miss_ratio: float
+    pirate_fetch_ratio: float
+    valid: bool
+    intervals: int
+
+    @property
+    def cache_mb(self) -> float:
+        return self.cache_bytes / (1024 * 1024)
+
+
+@dataclass
+class PerformanceCurve:
+    """Target metrics as a function of available shared-cache size."""
+
+    benchmark: str
+    points: list[CurvePoint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.points.sort(key=lambda p: p.cache_bytes)
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def from_samples(
+        cls,
+        benchmark: str,
+        samples: list[IntervalSample],
+        clock_hz: float,
+        *,
+        drop_first_interval_per_size: bool = False,
+    ) -> "PerformanceCurve":
+        """Aggregate interval samples into one point per cache size.
+
+        Counter deltas are summed (not averaged) per size so long and short
+        intervals weigh by their instruction counts.  A point is valid when
+        every contributing interval kept the Pirate under its threshold.
+        """
+        if not samples:
+            raise MeasurementError(f"{benchmark}: no interval samples")
+        by_size: dict[int, list[IntervalSample]] = {}
+        for s in samples:
+            by_size.setdefault(s.target_cache_bytes, []).append(s)
+        points = []
+        for size, group in by_size.items():
+            if drop_first_interval_per_size and len(group) > 1:
+                group = group[1:]
+            agg = CounterSample()
+            pf_num = 0.0
+            pf_den = 0.0
+            valid = True
+            for s in group:
+                for name in (
+                    "cycles", "instructions", "mem_accesses", "l3_hits",
+                    "l3_misses", "l3_fetches", "dram_bytes", "l3_bytes",
+                    "l1_hits", "l2_hits", "prefetch_fills",
+                    "dram_writeback_lines",
+                ):
+                    setattr(agg, name, getattr(agg, name) + getattr(s.target, name))
+                pf_num += s.pirate_fetch_ratio * max(s.target.cycles, 1.0)
+                pf_den += max(s.target.cycles, 1.0)
+                valid = valid and s.valid
+            points.append(
+                CurvePoint(
+                    cache_bytes=size,
+                    cpi=agg.cpi,
+                    bandwidth_gbps=agg.bandwidth_gbps(clock_hz),
+                    fetch_ratio=agg.fetch_ratio,
+                    miss_ratio=agg.miss_ratio,
+                    pirate_fetch_ratio=pf_num / pf_den if pf_den else 0.0,
+                    valid=valid,
+                    intervals=len(group),
+                )
+            )
+        return cls(benchmark=benchmark, points=points)
+
+    # -- array views --------------------------------------------------------------
+
+    @property
+    def cache_mb(self) -> np.ndarray:
+        return np.array([p.cache_mb for p in self.points])
+
+    @property
+    def cpi(self) -> np.ndarray:
+        return np.array([p.cpi for p in self.points])
+
+    @property
+    def bandwidth_gbps(self) -> np.ndarray:
+        return np.array([p.bandwidth_gbps for p in self.points])
+
+    @property
+    def fetch_ratio(self) -> np.ndarray:
+        return np.array([p.fetch_ratio for p in self.points])
+
+    @property
+    def miss_ratio(self) -> np.ndarray:
+        return np.array([p.miss_ratio for p in self.points])
+
+    @property
+    def valid_mask(self) -> np.ndarray:
+        return np.array([p.valid for p in self.points])
+
+    def valid_points(self) -> list[CurvePoint]:
+        """Points whose Pirate stayed under its fetch-ratio threshold."""
+        return [p for p in self.points if p.valid]
+
+    # -- interpolation ------------------------------------------------------------
+
+    def _interp(self, values: np.ndarray, cache_mb: float) -> float:
+        xs = self.cache_mb
+        if len(xs) == 0:
+            raise MeasurementError(f"{self.benchmark}: empty curve")
+        return float(np.interp(cache_mb, xs, values))
+
+    def cpi_at(self, cache_mb: float) -> float:
+        """CPI at an arbitrary cache size (linear interpolation)."""
+        return self._interp(self.cpi, cache_mb)
+
+    def bandwidth_at(self, cache_mb: float) -> float:
+        """Off-chip bandwidth (GB/s) at an arbitrary cache size."""
+        return self._interp(self.bandwidth_gbps, cache_mb)
+
+    def fetch_ratio_at(self, cache_mb: float) -> float:
+        """Fetch ratio at an arbitrary cache size."""
+        return self._interp(self.fetch_ratio, cache_mb)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def to_rows(self) -> list[dict]:
+        """Plain-dict rows for tables/serialization."""
+        return [
+            {
+                "cache_mb": p.cache_mb,
+                "cpi": p.cpi,
+                "bandwidth_gbps": p.bandwidth_gbps,
+                "fetch_ratio": p.fetch_ratio,
+                "miss_ratio": p.miss_ratio,
+                "pirate_fetch_ratio": p.pirate_fetch_ratio,
+                "valid": p.valid,
+                "intervals": p.intervals,
+            }
+            for p in self.points
+        ]
+
+    def to_csv(self) -> str:
+        """CSV rendering (header + one row per size) for external plotting."""
+        header = (
+            "cache_mb,cpi,bandwidth_gbps,fetch_ratio,miss_ratio,"
+            "pirate_fetch_ratio,valid,intervals"
+        )
+        rows = [header]
+        for p in self.points:
+            rows.append(
+                f"{p.cache_mb:.3f},{p.cpi:.6f},{p.bandwidth_gbps:.6f},"
+                f"{p.fetch_ratio:.6f},{p.miss_ratio:.6f},"
+                f"{p.pirate_fetch_ratio:.6f},{int(p.valid)},{p.intervals}"
+            )
+        return "\n".join(rows)
+
+    def format_table(self) -> str:
+        """Human-readable table of the curve (one row per size)."""
+        lines = [
+            f"# {self.benchmark}",
+            f"{'MB':>6} {'CPI':>7} {'BW GB/s':>8} {'fetch%':>8} {'miss%':>8} {'pirate%':>8} {'ok':>3}",
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.cache_mb:6.1f} {p.cpi:7.3f} {p.bandwidth_gbps:8.3f} "
+                f"{p.fetch_ratio * 100:8.3f} {p.miss_ratio * 100:8.3f} "
+                f"{p.pirate_fetch_ratio * 100:8.2f} {'y' if p.valid else 'n':>3}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Fixed-size Cache Pirating measurement (§III-D's baseline methodology).
+
+One Target execution per cache size: the Pirate is configured to steal a
+fixed amount for the whole run, both sides warm up, and the Target's
+counters are read over successive measurement intervals, each validated by
+the Pirate's fetch ratio.  Sweeping 15 sizes this way costs ~15 Target
+executions — the ~1500% overhead that motivates the dynamic adjustment in
+:mod:`repro.core.dynamic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..config import MachineConfig, nehalem_config
+from ..errors import MeasurementError
+from ..hardware.machine import Machine
+from ..hardware.thread import SimThread, WorkloadLike
+from ..units import MB
+from .curves import IntervalSample, PerformanceCurve
+from .monitor import DEFAULT_FETCH_RATIO_THRESHOLD, PirateMonitor
+from .pirate import Pirate
+
+#: Default measurement interval (Target instructions).  The paper's best
+#: tradeoff is 100M instructions on real hardware; simulated experiments are
+#: scaled 1:100 (DESIGN.md §6), making 1M the default.
+DEFAULT_INTERVAL_INSTRUCTIONS = 1_000_000.0
+
+
+@dataclass
+class FixedSizeResult:
+    """Outcome of one fixed-size co-run."""
+
+    target_cache_bytes: int
+    stolen_bytes: int
+    samples: list[IntervalSample] = field(default_factory=list)
+    #: frontier cycles consumed including warm-ups
+    wall_cycles: float = 0.0
+
+    @property
+    def all_valid(self) -> bool:
+        return all(s.valid for s in self.samples)
+
+
+def _make_target(target_factory: Callable[[], WorkloadLike] | WorkloadLike) -> WorkloadLike:
+    if callable(target_factory):
+        return target_factory()
+    target_factory.reset()
+    return target_factory
+
+
+def _setup(
+    target_factory,
+    config: MachineConfig,
+    num_pirate_threads: int,
+    seed: int,
+    quantum: float | None,
+) -> tuple[Machine, SimThread, Pirate]:
+    if num_pirate_threads >= config.num_cores:
+        raise MeasurementError(
+            f"{num_pirate_threads} pirate threads + 1 target need more than "
+            f"{config.num_cores} cores"
+        )
+    kwargs = {} if quantum is None else {"quantum_cycles": quantum}
+    machine = Machine(config, seed=seed, **kwargs)
+    target = machine.add_thread(_make_target(target_factory), core=0)
+    pirate = Pirate(machine, cores=list(range(1, 1 + num_pirate_threads)))
+    return machine, target, pirate
+
+
+def measure_fixed_size(
+    target_factory: Callable[[], WorkloadLike] | WorkloadLike,
+    stolen_bytes: int,
+    *,
+    config: MachineConfig | None = None,
+    num_pirate_threads: int = 1,
+    interval_instructions: float = DEFAULT_INTERVAL_INSTRUCTIONS,
+    n_intervals: int = 3,
+    warmup_instructions: float | None = None,
+    threshold: float = DEFAULT_FETCH_RATIO_THRESHOLD,
+    seed: int = 0,
+    quantum: float | None = None,
+) -> FixedSizeResult:
+    """Co-run Target and Pirate with a fixed stolen size; measure intervals.
+
+    ``target_factory`` is either a zero-arg callable producing a fresh
+    workload or a workload instance (which is reset).  Returns per-interval
+    Target counter deltas, each validated against the Pirate's fetch ratio.
+    """
+    config = config or nehalem_config()
+    if not 0 <= stolen_bytes <= config.l3.size:
+        raise MeasurementError(f"cannot steal {stolen_bytes} of {config.l3.size} bytes")
+    machine, target, pirate = _setup(
+        target_factory, config, num_pirate_threads, seed, quantum
+    )
+    start = machine.frontier
+
+    pirate.set_working_set(stolen_bytes)
+    pirate.warm()  # Target suspended while the Pirate claims its set
+
+    if warmup_instructions is None:
+        warmup_instructions = interval_instructions
+    warm_goal = target.instructions + warmup_instructions
+    machine.run(until=lambda: target.instructions >= warm_goal)
+
+    monitor = PirateMonitor(pirate, threshold)
+    samples = []
+    for _ in range(n_intervals):
+        before = machine.counters.sample(target.core)
+        t0 = machine.frontier
+        monitor.begin()
+        goal = target.instructions + interval_instructions
+        machine.run(until=lambda: target.instructions >= goal)
+        verdict = monitor.end()
+        delta = machine.counters.sample(target.core).delta(before)
+        samples.append(
+            IntervalSample(
+                target_cache_bytes=config.l3.size - stolen_bytes,
+                target=delta,
+                pirate_fetch_ratio=verdict.fetch_ratio,
+                valid=verdict.trustworthy,
+                start_cycle=t0,
+                wall_cycles=machine.frontier - t0,
+            )
+        )
+    return FixedSizeResult(
+        target_cache_bytes=config.l3.size - stolen_bytes,
+        stolen_bytes=stolen_bytes,
+        samples=samples,
+        wall_cycles=machine.frontier - start,
+    )
+
+
+def measure_curve_fixed(
+    target_factory: Callable[[], WorkloadLike],
+    sizes_mb: list[float],
+    *,
+    benchmark: str | None = None,
+    config: MachineConfig | None = None,
+    num_pirate_threads: int = 1,
+    interval_instructions: float = DEFAULT_INTERVAL_INSTRUCTIONS,
+    n_intervals: int = 2,
+    warmup_instructions: float | None = None,
+    threshold: float = DEFAULT_FETCH_RATIO_THRESHOLD,
+    seed: int = 0,
+    quantum: float | None = None,
+) -> PerformanceCurve:
+    """The expensive baseline: one fixed-size execution per cache size.
+
+    ``sizes_mb`` are *Target-available* sizes; the Pirate steals the
+    complement of each.  Used as ground truth for validating the dynamic
+    method (Table III) and wherever a single size is all that is needed.
+    """
+    config = config or nehalem_config()
+    if not callable(target_factory):
+        raise MeasurementError("measure_curve_fixed needs a factory for fresh targets")
+    samples: list[IntervalSample] = []
+    name = benchmark
+    for size_mb in sizes_mb:
+        stolen = config.l3.size - int(size_mb * MB)
+        result = measure_fixed_size(
+            target_factory,
+            stolen,
+            config=config,
+            num_pirate_threads=num_pirate_threads,
+            interval_instructions=interval_instructions,
+            n_intervals=n_intervals,
+            warmup_instructions=warmup_instructions,
+            threshold=threshold,
+            seed=seed,
+            quantum=quantum,
+        )
+        samples.extend(result.samples)
+        if name is None:
+            name = _make_target(target_factory).name
+    return PerformanceCurve.from_samples(
+        name or "target", samples, config.core.clock_hz
+    )

@@ -1,0 +1,64 @@
+"""Pirate fetch-ratio monitoring (§II-A, §III-C).
+
+"When the fetch ratio of the Pirate is zero, we can be sure its entire
+working set is resident in the cache."  In practice the paper accepts a 3%
+threshold: a Pirate with fetch ratio f has between (1-f) and 100% of its
+working set resident, bounding the cache-size attribution error, and at 3%
+the Pirate's own off-chip traffic stays under 0.9 GB/s — too little to
+disturb the Target.
+
+:class:`PirateMonitor` wraps the snapshot/delta bookkeeping so harnesses can
+bracket each measurement interval with ``begin()``/``end()`` and get a
+validity verdict per interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MeasurementError
+from .pirate import Pirate
+
+#: The paper's empirically chosen threshold (§III-B2, §III-C).
+DEFAULT_FETCH_RATIO_THRESHOLD = 0.03
+
+
+@dataclass
+class MonitorVerdict:
+    """Outcome of one monitored interval."""
+
+    fetch_ratio: float
+    threshold: float
+
+    @property
+    def trustworthy(self) -> bool:
+        """True when the Pirate held (at least 1-threshold of) its set."""
+        return self.fetch_ratio <= self.threshold
+
+    @property
+    def resident_fraction_lower_bound(self) -> float:
+        """At least this fraction of the Pirate's set stayed resident."""
+        return max(0.0, 1.0 - self.fetch_ratio)
+
+
+class PirateMonitor:
+    """Brackets measurement intervals with Pirate fetch-ratio checks."""
+
+    def __init__(self, pirate: Pirate, threshold: float = DEFAULT_FETCH_RATIO_THRESHOLD):
+        if not 0.0 <= threshold < 1.0:
+            raise MeasurementError(f"threshold must be in [0, 1), got {threshold}")
+        self.pirate = pirate
+        self.threshold = threshold
+        self._snapshot = None
+
+    def begin(self) -> None:
+        """Mark the start of a measurement interval."""
+        self._snapshot = self.pirate.sample()
+
+    def end(self) -> MonitorVerdict:
+        """Close the interval and judge the Pirate's fetch ratio over it."""
+        if self._snapshot is None:
+            raise MeasurementError("PirateMonitor.end() without begin()")
+        fr = self.pirate.fetch_ratio(self._snapshot)
+        self._snapshot = None
+        return MonitorVerdict(fetch_ratio=fr, threshold=self.threshold)

@@ -1,0 +1,49 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import MachineConfig, nehalem_config
+from ..core import measure_curve_dynamic
+from ..core.curves import PerformanceCurve
+from ..hardware.thread import WorkloadLike
+from ..rng import stable_seed
+from ..workloads import make_benchmark, make_cigar
+from .scale import Scale
+
+
+def benchmark_factory(
+    name: str, *, instance: int = 0, seed: int = 0
+) -> Callable[[], WorkloadLike]:
+    """Factory for suite benchmarks plus the cigar application."""
+    if name == "cigar":
+        return lambda: make_cigar(instance=instance, seed=seed)
+    return lambda: make_benchmark(name, instance=instance, seed=seed)
+
+
+def dynamic_curve(
+    name: str,
+    scale: Scale,
+    *,
+    config: MachineConfig | None = None,
+    seed: int = 0,
+    sizes_mb: tuple[float, ...] | None = None,
+) -> PerformanceCurve:
+    """One dynamic-pirating execution of ``name`` over the scale's grid."""
+    result = measure_curve_dynamic(
+        benchmark_factory(name, seed=stable_seed(seed, name)),
+        list(sizes_mb or scale.sizes_mb),
+        total_instructions=scale.dynamic_total_instructions,
+        interval_instructions=scale.interval_instructions,
+        benchmark=name,
+        config=config or nehalem_config(),
+        compute_baseline=False,
+        seed=stable_seed(seed, name, "machine"),
+    )
+    return result.curve
+
+
+def fmt_pct(x: float) -> str:
+    """Render a ratio as a percent string."""
+    return f"{x * 100:.2f}%"

@@ -1,0 +1,81 @@
+"""Figure 1: OMNeT++ throughput scaling explained by its CPI curve.
+
+1(a): measured vs ideal vs *predicted* throughput for 1-4 co-running
+OMNeT++ instances; 1(b): the pirate-captured CPI curve the prediction comes
+from.  The paper's claim: the prediction from the CPI curve alone matches
+the measured scaling, proving the curve explains the throughput loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import measure_throughput, predict_throughput
+from ..config import nehalem_config
+from ..core.curves import PerformanceCurve
+from ..rng import stable_seed
+from ..workloads import make_benchmark
+from .common import dynamic_curve
+from .scale import QUICK, Scale
+
+BENCHMARK = "omnetpp"
+
+
+@dataclass
+class ScalingRow:
+    instances: int
+    measured: float
+    predicted: float
+    ideal: float
+
+
+@dataclass
+class Fig1Result:
+    benchmark: str
+    curve: PerformanceCurve
+    rows: list[ScalingRow] = field(default_factory=list)
+
+    def format(self) -> str:
+        out = [f"Figure 1 — {self.benchmark} throughput scaling"]
+        out.append(f"{'instances':>10} {'measured':>9} {'predicted':>10} {'ideal':>6}")
+        for r in self.rows:
+            out.append(
+                f"{r.instances:>10d} {r.measured:9.2f} {r.predicted:10.2f} {r.ideal:6.0f}"
+            )
+        out.append("")
+        out.append("CPI curve (Fig. 1(b)):")
+        out.append(self.curve.format_table())
+        return "\n".join(out)
+
+    def max_prediction_gap(self) -> float:
+        """Largest |measured - predicted| across instance counts."""
+        return max(abs(r.measured - r.predicted) for r in self.rows)
+
+
+def run(scale: Scale = QUICK, seed: int = 0, benchmark: str = BENCHMARK) -> Fig1Result:
+    """Capture the CPI curve with the Pirate, then measure and predict
+    throughput for 1..4 instances."""
+    config = nehalem_config()
+    curve = dynamic_curve(benchmark, scale, seed=seed)
+    rows = []
+    for k in range(1, config.num_cores + 1):
+        measured = measure_throughput(
+            lambda i: make_benchmark(benchmark, instance=i, seed=stable_seed(seed, i)),
+            k,
+            scale.throughput_instructions,
+            config=config,
+            seed=stable_seed(seed, benchmark, "tp", k),
+        )
+        predicted = predict_throughput(
+            curve, k, l3_mb=config.l3.size / (1024 * 1024),
+            max_bandwidth_gbps=config.dram_bandwidth_gbps,
+        )
+        rows.append(
+            ScalingRow(
+                instances=k,
+                measured=measured.throughput,
+                predicted=predicted.throughput,
+                ideal=float(k),
+            )
+        )
+    return Fig1Result(benchmark=benchmark, curve=curve, rows=rows)

@@ -1,0 +1,111 @@
+"""Figure 2: LBM — flat CPI curve, yet imperfect scaling: bandwidth-bound.
+
+2(a) throughput, 2(b) CPI curve (flat), 2(c) per-instance bandwidth curve,
+2(d) aggregate required vs measured bandwidth for 1-4 instances.  The
+paper's punchline: four instances require ~12 GB/s of a 10.4 GB/s system,
+so throughput saturates at ~87% of the CPI-curve prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import measure_throughput, predict_throughput
+from ..config import nehalem_config
+from ..core.curves import PerformanceCurve
+from ..rng import stable_seed
+from ..workloads import make_benchmark
+from .common import dynamic_curve
+from .fig1_omnet import ScalingRow
+from .scale import QUICK, Scale
+
+BENCHMARK = "lbm"
+
+
+@dataclass
+class BandwidthRow:
+    instances: int
+    required_gbps: float
+    measured_gbps: float
+    limited: bool
+
+
+@dataclass
+class Fig2Result:
+    benchmark: str
+    curve: PerformanceCurve
+    scaling: list[ScalingRow] = field(default_factory=list)
+    bandwidth: list[BandwidthRow] = field(default_factory=list)
+    max_bandwidth_gbps: float = 10.4
+
+    def format(self) -> str:
+        out = [f"Figure 2 — {self.benchmark} (bandwidth-bound scaling)"]
+        out.append(f"{'instances':>10} {'measured':>9} {'predicted':>10} {'ideal':>6}")
+        for r in self.scaling:
+            out.append(
+                f"{r.instances:>10d} {r.measured:9.2f} {r.predicted:10.2f} {r.ideal:6.0f}"
+            )
+        out.append("")
+        out.append(
+            f"{'instances':>10} {'required GB/s':>14} {'measured GB/s':>14} "
+            f"{'bw-limited':>11}  (system max {self.max_bandwidth_gbps:.1f})"
+        )
+        for b in self.bandwidth:
+            out.append(
+                f"{b.instances:>10d} {b.required_gbps:14.2f} {b.measured_gbps:14.2f} "
+                f"{'yes' if b.limited else 'no':>11}"
+            )
+        out.append("")
+        out.append("CPI/BW curves (Fig. 2(b)/(c)):")
+        out.append(self.curve.format_table())
+        return "\n".join(out)
+
+    def crossover_instances(self) -> int | None:
+        """First instance count whose required bandwidth exceeds the system."""
+        for b in self.bandwidth:
+            if b.limited:
+                return b.instances
+        return None
+
+
+def run(scale: Scale = QUICK, seed: int = 0, benchmark: str = BENCHMARK) -> Fig2Result:
+    """Capture LBM's curves, then measure/predict scaling and bandwidth."""
+    config = nehalem_config()
+    l3_mb = config.l3.size / (1024 * 1024)
+    curve = dynamic_curve(benchmark, scale, seed=seed)
+    scaling = []
+    bandwidth = []
+    for k in range(1, config.num_cores + 1):
+        measured = measure_throughput(
+            lambda i: make_benchmark(benchmark, instance=i, seed=stable_seed(seed, i)),
+            k,
+            scale.throughput_instructions,
+            config=config,
+            seed=stable_seed(seed, benchmark, "tp", k),
+        )
+        predicted = predict_throughput(
+            curve, k, l3_mb=l3_mb, max_bandwidth_gbps=config.dram_bandwidth_gbps
+        )
+        scaling.append(
+            ScalingRow(
+                instances=k,
+                measured=measured.throughput,
+                predicted=predicted.throughput,
+                ideal=float(k),
+            )
+        )
+        bandwidth.append(
+            BandwidthRow(
+                instances=k,
+                required_gbps=predicted.required_bandwidth_gbps,
+                measured_gbps=measured.bandwidth_gbps,
+                limited=predicted.bandwidth_limited,
+            )
+        )
+    return Fig2Result(
+        benchmark=benchmark,
+        curve=curve,
+        scaling=scaling,
+        bandwidth=bandwidth,
+        max_bandwidth_gbps=config.dram_bandwidth_gbps,
+    )

@@ -1,0 +1,128 @@
+"""Figure 4: micro benchmarks vs the LRU and Nehalem reference simulators.
+
+Fetch-ratio curves for a random-access and a sequential (cyclic-sweep)
+micro benchmark, each measured three ways: with the Pirate on the simulated
+machine, with the generic LRU trace simulator, and with the Nehalem-policy
+trace simulator.  The paper uses these to show (a) random accesses agree
+under every model, and (b) getting the replacement policy wrong is both
+quantitatively and qualitatively misleading for sequential accesses; the
+shaded regions are cache sizes where the Pirate's own fetch ratio exceeded
+the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core import measure_curve_fixed
+from ..core.curves import PerformanceCurve
+from ..hardware.thread import WorkloadLike
+from ..reference import apply_offset, reference_curve
+from ..reference.sweep import ReferenceCurve
+from ..rng import stable_seed
+from ..tracing import AddressTrace
+from ..workloads.micro import random_micro, sequential_micro
+from .scale import QUICK, Scale
+
+#: working-set size of both micro benchmarks (MB)
+WORKING_SET_MB = 4.0
+
+
+@dataclass
+class MicroComparison:
+    name: str
+    pirate: PerformanceCurve
+    lru: ReferenceCurve
+    nehalem: ReferenceCurve
+
+    def rows(self) -> list[dict]:
+        out = []
+        for p in self.pirate.points:
+            out.append(
+                {
+                    "cache_mb": p.cache_mb,
+                    "pirate": p.fetch_ratio,
+                    "lru_sim": self.lru.fetch_ratio_at(p.cache_mb),
+                    "nehalem_sim": self.nehalem.fetch_ratio_at(p.cache_mb),
+                    "trusted": p.valid,
+                }
+            )
+        return out
+
+    def format(self) -> str:
+        out = [f"-- {self.name} (fetch ratio vs cache MB)"]
+        out.append(f"{'MB':>5} {'pirate':>8} {'LRU sim':>8} {'NRU sim':>8} {'trusted':>8}")
+        for r in self.rows():
+            out.append(
+                f"{r['cache_mb']:5.1f} {r['pirate']:8.3f} {r['lru_sim']:8.3f} "
+                f"{r['nehalem_sim']:8.3f} {'y' if r['trusted'] else 'GRAY':>8}"
+            )
+        return "\n".join(out)
+
+
+@dataclass
+class Fig4Result:
+    comparisons: list[MicroComparison] = field(default_factory=list)
+
+    def format(self) -> str:
+        out = ["Figure 4 — micro benchmarks vs reference simulators"]
+        for c in self.comparisons:
+            out.append(c.format())
+        return "\n".join(out)
+
+    def by_name(self, name: str) -> MicroComparison:
+        for c in self.comparisons:
+            if name in c.name:
+                return c
+        raise KeyError(name)
+
+
+def _capture(workload: WorkloadLike, n_lines: int) -> AddressTrace:
+    lines, writes = workload.chunk(n_lines)
+    return AddressTrace(
+        benchmark=workload.name,
+        lines=lines,
+        writes=writes,
+        accesses_per_line=workload.accesses_per_line,
+    )
+
+
+def run(scale: Scale = QUICK, seed: int = 0) -> Fig4Result:
+    """Measure both micro benchmarks the three ways of Fig. 4."""
+    comparisons = []
+    micro_factories: list[tuple[str, Callable[[], WorkloadLike]]] = [
+        ("random", lambda: random_micro(WORKING_SET_MB, seed=stable_seed(seed, "r"))),
+        ("sequential", lambda: sequential_micro(WORKING_SET_MB, seed=stable_seed(seed, "s"))),
+    ]
+    # both the trace replay and the pirate co-run must reach steady state:
+    # the 4MB working set is 65536 lines, so traces cover it several times
+    # and references discard a half-trace warm-up
+    ws_lines = int(WORKING_SET_MB * 1024 * 1024 / 64)
+    trace_lines = max(scale.trace_lines, 4 * ws_lines)
+    for name, factory in micro_factories:
+        pirate = measure_curve_fixed(
+            factory,
+            list(scale.sizes_mb),
+            benchmark=f"micro.{name}",
+            interval_instructions=scale.fixed_interval_instructions,
+            n_intervals=1,
+            warmup_instructions=4 * ws_lines / factory().mem_fraction,
+            seed=stable_seed(seed, name, "pirate"),
+        )
+        trace = _capture(factory(), trace_lines)
+        lru = reference_curve(
+            trace, list(scale.sizes_mb), policy="lru", warmup_fraction=0.5
+        )
+        nru = reference_curve(
+            trace, list(scale.sizes_mb), policy="nru", warmup_fraction=0.5
+        )
+        # the paper's §III-B1 baseline-offset calibration: pin both
+        # simulators' full-cache points to the counter-measured fetch ratio
+        baseline = pirate.points[-1].fetch_ratio
+        lru = apply_offset(lru, baseline)
+        nru = apply_offset(nru, baseline)
+        comparisons.append(
+            MicroComparison(name=f"micro.{name}", pirate=pirate, lru=lru, nehalem=nru)
+        )
+    return Fig4Result(comparisons=comparisons)

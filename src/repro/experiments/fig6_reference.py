@@ -1,0 +1,144 @@
+"""Figure 6: pirate vs reference fetch-ratio curves.
+
+The paper's central validation: for each (traceable) benchmark, capture an
+address trace of the hot region, generate a reference fetch-ratio curve
+with the Nehalem-policy trace simulator (prefetchers disabled, baseline-
+offset calibrated), and measure the same window with the Pirate attached at
+the same instruction markers.  Grey regions mark cache sizes where the
+Pirate's fetch ratio exceeded the 3% threshold.
+
+Per §III-B1, the markers come from a flat profile (the Gprof step): tracing
+starts where the hot code begins rather than after a fixed fast-forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.errors import CurveError, curve_errors
+from ..config import nehalem_config
+from ..core.attach import measure_between_markers
+from ..core.curves import IntervalSample, PerformanceCurve
+from ..reference import apply_offset, reference_curve
+from ..reference.sweep import ReferenceCurve
+from ..rng import stable_seed
+from ..tracing import capture_trace, profile_workload
+from ..units import MB
+from .common import benchmark_factory
+from .scale import QUICK, Scale
+
+#: instructions executed before the traced/measured window starts — past
+#: the cold-start transient, like tracing a hot region mid-execution
+_WARM_START_INSTRUCTIONS = 2_000_000.0
+
+
+@dataclass
+class BenchmarkComparison:
+    benchmark: str
+    pirate: PerformanceCurve
+    reference: ReferenceCurve
+    error: CurveError
+
+    def format(self) -> str:
+        out = [f"-- {self.benchmark}"]
+        out.append(f"{'MB':>5} {'pirate FR%':>11} {'reference FR%':>14} {'trusted':>8}")
+        for p in self.pirate.points:
+            ref = self.reference.fetch_ratio_at(p.cache_mb)
+            out.append(
+                f"{p.cache_mb:5.1f} {p.fetch_ratio * 100:11.3f} {ref * 100:14.3f} "
+                f"{'y' if p.valid else 'GRAY':>8}"
+            )
+        out.append(
+            f"   abs err {self.error.absolute * 100:.3f}%  "
+            f"rel err {self.error.relative * 100:.1f}%"
+        )
+        return "\n".join(out)
+
+
+@dataclass
+class Fig6Result:
+    comparisons: list[BenchmarkComparison] = field(default_factory=list)
+
+    def format(self) -> str:
+        out = ["Figure 6 — pirate vs reference fetch-ratio curves (prefetch off)"]
+        for c in self.comparisons:
+            out.append(c.format())
+        return "\n".join(out)
+
+    def by_name(self, name: str) -> BenchmarkComparison:
+        for c in self.comparisons:
+            if c.benchmark == name:
+                return c
+        raise KeyError(name)
+
+
+def compare_benchmark(
+    name: str, scale: Scale, seed: int = 0
+) -> BenchmarkComparison:
+    """Run the full §III-B methodology for one benchmark."""
+    config = nehalem_config(prefetch_enabled=False)
+    factory = benchmark_factory(name, seed=stable_seed(seed, name))
+
+    # Gprof step: place markers on the hot region
+    sample_budget = min(scale.dynamic_total_instructions / 4, 4e6)
+    profile = profile_workload(factory, sample_budget, config=config,
+                               seed=stable_seed(seed, name, "prof"))
+    hot = profile.hottest()
+    wl = factory()
+    # the window must start past the cold-start transient (the paper traces
+    # a hot region deep inside the execution) and be long enough that the
+    # resident working set is swept several times — otherwise the reference
+    # replay never leaves its own cold start and the baseline offset
+    # mis-corrects the whole curve.  Regions beyond the L3 never warm, so
+    # the footprint is capped at the cache size.
+    lines = scale.trace_lines
+    footprint = min(wl.footprint_lines(), config.l3.num_lines)
+    if footprint:
+        lines = int(min(max(lines, 6 * footprint), 8 * scale.trace_lines))
+    window_instr = lines * wl.accesses_per_line / wl.mem_fraction
+    start = hot.start_marker + min(
+        _WARM_START_INSTRUCTIONS, scale.dynamic_total_instructions / 4
+    )
+    stop = start + window_instr
+
+    # Pin step: capture the trace of exactly that window
+    trace = capture_trace(factory(), start, stop, benchmark=name)
+
+    # reference curve + baseline-offset calibration (stolen = 0 run)
+    ref = reference_curve(
+        trace, list(scale.sizes_mb), base_config=config, warmup_fraction=0.5
+    )
+    baseline = measure_between_markers(
+        factory, 0, start, stop, config=config,
+        seed=stable_seed(seed, name, "base"),
+    )
+    ref = apply_offset(ref, baseline.target.fetch_ratio)
+
+    # pirate measurements attached at the same markers, one run per size
+    samples = []
+    for size_mb in scale.sizes_mb:
+        stolen = config.l3.size - int(size_mb * MB)
+        win = measure_between_markers(
+            factory, stolen, start, stop, config=config,
+            seed=stable_seed(seed, name, "pirate", size_mb),
+        )
+        samples.append(
+            IntervalSample(
+                target_cache_bytes=win.target_cache_bytes,
+                target=win.target,
+                pirate_fetch_ratio=win.pirate_fetch_ratio,
+                valid=win.valid,
+            )
+        )
+    pirate = PerformanceCurve.from_samples(name, samples, config.core.clock_hz)
+    err = curve_errors(pirate, ref, benchmark=name)
+    return BenchmarkComparison(benchmark=name, pirate=pirate, reference=ref, error=err)
+
+
+def run(scale: Scale = QUICK, seed: int = 0, include_cigar: bool = True) -> Fig6Result:
+    """Compare every reference benchmark (plus Cigar, §III-A) both ways."""
+    names = list(scale.reference_benchmarks)
+    if include_cigar and "cigar" not in names:
+        names.append("cigar")
+    comparisons = [compare_benchmark(n, scale, seed) for n in names]
+    return Fig6Result(comparisons=comparisons)

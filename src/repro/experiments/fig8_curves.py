@@ -1,0 +1,47 @@
+"""Figure 8: CPI, bandwidth, and fetch/miss ratio curves (prefetch on).
+
+The paper's results gallery: for each benchmark, the four pirate-captured
+curves with hardware prefetching enabled.  §IV reads them jointly — flat
+CPI with rising bandwidth means the prefetchers are compensating (lbm),
+fetch == miss means no prefetching (gromacs), rising CPI despite rising
+bandwidth means latency sensitivity (sphinx3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.curves import PerformanceCurve
+from .common import dynamic_curve
+from .scale import QUICK, Scale
+
+
+@dataclass
+class Fig8Result:
+    curves: dict[str, PerformanceCurve] = field(default_factory=dict)
+
+    def format(self) -> str:
+        out = ["Figure 8 — CPI / BW / fetch / miss curves (prefetch enabled)"]
+        for name, curve in self.curves.items():
+            out.append(curve.format_table())
+            fm = self.prefetch_factor(name)
+            out.append(f"   fetch/miss at smallest size: {fm:.1f}x\n")
+        return "\n".join(out)
+
+    def prefetch_factor(self, name: str) -> float:
+        """Fetch-to-miss ratio at the smallest cache size (lbm's ~8x)."""
+        p = self.curves[name].points[0]
+        return p.fetch_ratio / p.miss_ratio if p.miss_ratio else float("inf")
+
+    def cpi_rise(self, name: str) -> float:
+        """CPI(smallest)/CPI(largest) — the §IV sensitivity read-out."""
+        pts = self.curves[name].points
+        return pts[0].cpi / pts[-1].cpi if pts[-1].cpi else 0.0
+
+
+def run(scale: Scale = QUICK, seed: int = 0) -> Fig8Result:
+    """Capture the §IV curve gallery with one dynamic run per benchmark."""
+    result = Fig8Result()
+    for name in scale.curve_benchmarks:
+        result.curves[name] = dynamic_curve(name, scale, seed=seed)
+    return result

@@ -1,0 +1,102 @@
+"""Run every experiment and render an EXPERIMENTS-style report.
+
+``python -m repro.experiments.runall [--scale quick|full] [--only fig1,...]``
+regenerates every table and figure of the paper and prints (or writes) the
+combined text report.  EXPERIMENTS.md is produced from a FULL-scale run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import FULL, QUICK, Scale
+from . import (  # noqa: F401  (imported for registration order)
+    fig1_omnet,
+    fig2_lbm,
+    fig3_lru_stack,
+    fig4_micro,
+    fig5_schedule,
+    fig6_reference,
+    fig7_errors,
+    fig8_curves,
+    fig9_lbm_nopf,
+    table1,
+    table2_steal,
+    table3_overhead,
+)
+
+#: experiment id -> module with a run(scale, seed) -> result (.format()) API
+EXPERIMENTS = {
+    "table1": table1,
+    "fig3": fig3_lru_stack,
+    "fig5": fig5_schedule,
+    "fig4": fig4_micro,
+    "fig1": fig1_omnet,
+    "fig2": fig2_lbm,
+    "fig8": fig8_curves,
+    "fig9": fig9_lbm_nopf,
+    "fig6": fig6_reference,
+    "fig7": fig7_errors,
+    "table2": table2_steal,
+    "table3": table3_overhead,
+}
+
+
+def run_all(
+    scale: Scale = QUICK,
+    seed: int = 0,
+    only: list[str] | None = None,
+    *,
+    echo=print,
+) -> dict[str, object]:
+    """Run the selected experiments; returns {id: result}.
+
+    ``fig7`` reuses ``fig6``'s comparisons when both are selected.
+    """
+    selected = list(only) if only else list(EXPERIMENTS)
+    unknown = set(selected) - set(EXPERIMENTS)
+    if unknown:
+        raise KeyError(f"unknown experiment ids: {sorted(unknown)}")
+    results: dict[str, object] = {}
+    for exp_id in EXPERIMENTS:
+        if exp_id not in selected:
+            continue
+        t0 = time.perf_counter()
+        if exp_id == "fig7" and "fig6" in results:
+            result = fig7_errors.from_fig6(results["fig6"])
+        else:
+            result = EXPERIMENTS[exp_id].run(scale, seed)
+        results[exp_id] = result
+        echo(f"\n{'=' * 72}")
+        echo(result.format())
+        echo(f"[{exp_id}: {time.perf_counter() - t0:.1f}s at scale={scale.name}]")
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("quick", "full"), default="quick")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--only", default="", help="comma-separated experiment ids")
+    parser.add_argument("--out", default="", help="also write the report to this file")
+    args = parser.parse_args(argv)
+    scale = FULL if args.scale == "full" else QUICK
+    only = [s for s in args.only.split(",") if s] or None
+
+    chunks: list[str] = []
+
+    def echo(text: str = "") -> None:
+        print(text)
+        chunks.append(str(text))
+
+    run_all(scale, args.seed, only, echo=echo)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n".join(chunks) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

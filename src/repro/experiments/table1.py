@@ -1,0 +1,56 @@
+"""Table I: the Nehalem cache hierarchy.
+
+A configuration self-check rather than a measurement: renders the modelled
+hierarchy and verifies it against the paper's stated parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import format_table1
+from ..config import MachineConfig, nehalem_config
+from ..units import KB, MB
+from .scale import QUICK, Scale
+
+#: the paper's Table I, as (level, size, ways, shared, policy, inclusive)
+PAPER_TABLE1 = (
+    ("L1", 32 * KB, 8, False, "plru", False),
+    ("L2", 256 * KB, 8, False, "plru", False),
+    ("L3", 8 * MB, 16, True, "nru", True),
+)
+
+
+@dataclass
+class Table1Result:
+    config: MachineConfig
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def matches_paper(self) -> bool:
+        return not self.mismatches
+
+    def format(self) -> str:
+        out = ["Table I — Nehalem cache hierarchy", format_table1(self.config)]
+        if self.mismatches:
+            out.append("MISMATCHES vs paper: " + "; ".join(self.mismatches))
+        else:
+            out.append("(matches the paper's Table I)")
+        return "\n".join(out)
+
+
+def run(scale: Scale = QUICK, seed: int = 0) -> Table1Result:
+    """Check the default machine against the paper's Table I."""
+    config = nehalem_config()
+    caches = {"L1": config.l1, "L2": config.l2, "L3": config.l3}
+    mismatches = []
+    for name, size, ways, shared, policy, inclusive in PAPER_TABLE1:
+        cache = caches[name]
+        for attr, expected in (
+            ("size", size), ("ways", ways), ("shared", shared),
+            ("policy", policy), ("inclusive", inclusive),
+        ):
+            actual = getattr(cache, attr)
+            if actual != expected:
+                mismatches.append(f"{name}.{attr}: {actual} != {expected}")
+    return Table1Result(config=config, mismatches=mismatches)

@@ -1,0 +1,127 @@
+"""Interval-style core timing model.
+
+The paper measures on real silicon; the substitution (DESIGN.md §2) is a
+first-order timing model in the tradition of interval simulation
+(Karkhanis & Smith; Eyerman et al. — the paper's refs [14], [18]): a quantum
+of ``n`` instructions costs
+
+``n * cpi_base``
+    pipeline + L1-hit work of the workload, plus
+
+stall terms for each miss class, divided by the workload's memory-level
+parallelism (MLP), plus bandwidth bounds:
+
+* every access reaching L3 pays the L3 hit latency (scaled by the L3
+  domain's queueing factor),
+* every demand L3 miss pays the DRAM latency (scaled by the DRAM domain's
+  queueing factor),
+* the quantum's L3 transfer time is bounded below by the per-core L3 port
+  bandwidth and the shared-L3 proportional-sharing stretch,
+* the quantum's DRAM transfer time is bounded below by the off-chip
+  proportional-sharing stretch.
+
+This reproduces both regimes the paper's analysis needs: latency-bound
+applications (mcf, sphinx3) slow down when misses rise, and bandwidth-bound
+applications (lbm, libquantum) slow down when aggregate demand exceeds the
+pipe (Fig. 2's 87% effect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..caches.base import CoreMemStats
+from ..config import CoreConfig
+from .bandwidth import BandwidthDomain
+
+#: Line size in bytes; fixed across the library (Table I).
+_LINE = 64
+
+
+@dataclass
+class TimingBreakdown:
+    """Cycle accounting for one quantum (diagnostics and tests)."""
+
+    base: float = 0.0
+    l2_stall: float = 0.0
+    l3_time: float = 0.0
+    l3_latency_bound: float = 0.0
+    l3_bandwidth_bound: float = 0.0
+    dram_time: float = 0.0
+    dram_latency_bound: float = 0.0
+    dram_bandwidth_bound: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.base + self.l2_stall + self.l3_time + self.dram_time
+
+
+class CoreTimingModel:
+    """Computes quantum durations from memory-event counts."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        l3_domain: BandwidthDomain,
+        dram_domain: BandwidthDomain,
+    ):
+        self.config = config
+        self.l3_domain = l3_domain
+        self.dram_domain = dram_domain
+
+    def quantum_cycles(
+        self,
+        instructions: float,
+        stats: CoreMemStats,
+        cpi_base: float,
+        mlp: float,
+        thread_id: int,
+    ) -> tuple[float, TimingBreakdown]:
+        """Cycles for a quantum of ``instructions`` with events ``stats``.
+
+        Also records the quantum's traffic demand with both bandwidth
+        domains so their next epoch sees it.
+        """
+        cfg = self.config
+        bd = TimingBreakdown()
+        bd.base = instructions * cpi_base
+        bd.l2_stall = stats.l2_hits * cfg.l2_hit_latency / mlp
+
+        l3_accesses = stats.l3_hits + stats.l3_misses
+        l3_lines_moved = l3_accesses + stats.prefetch_fills
+        l3_bytes = l3_lines_moved * _LINE
+        bd.l3_latency_bound = l3_accesses * cfg.l3_hit_latency * self.l3_domain.latency_scale / mlp
+        bd.l3_bandwidth_bound = max(
+            l3_bytes / cfg.l3_port_bytes_per_cycle,
+            l3_bytes * self.l3_domain.stretch / self.l3_domain.capacity,
+        )
+        bd.l3_time = max(bd.l3_latency_bound, bd.l3_bandwidth_bound)
+
+        dram_lines = stats.l3_fetches + stats.dram_writeback_lines
+        dram_bytes = dram_lines * _LINE
+        bd.dram_latency_bound = (
+            stats.l3_misses * cfg.dram_latency * self.dram_domain.latency_scale / mlp
+        )
+        bd.dram_bandwidth_bound = dram_bytes * self.dram_domain.stretch / self.dram_domain.capacity
+        bd.dram_time = max(bd.dram_latency_bound, bd.dram_bandwidth_bound)
+
+        cycles = bd.total
+        if cycles <= 0.0:
+            cycles = 1.0
+
+        # report demand at the *unstretched* rate so the domains can estimate
+        # aggregate demand rather than (already throttled) delivery
+        unstretched = (
+            bd.base
+            + bd.l2_stall
+            + max(bd.l3_latency_bound, l3_bytes / cfg.l3_port_bytes_per_cycle)
+            + bd.dram_latency_bound
+        )
+        if unstretched <= 0.0:
+            unstretched = 1.0
+        if l3_bytes:
+            self.l3_domain.record(thread_id, l3_bytes, unstretched)
+        if dram_bytes:
+            self.dram_domain.record(thread_id, dram_bytes, unstretched)
+
+        return cycles, bd

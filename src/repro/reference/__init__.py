@@ -1,0 +1,24 @@
+"""Trace-driven reference cache simulation (§III-B).
+
+The paper validates Cache Pirating by comparing its fetch-ratio curves
+against an address-trace-driven simulator of the Table I hierarchy, swept
+across cache sizes.  This package is that simulator: trace replay through
+the same :class:`~repro.caches.CacheHierarchy` the machine uses
+(:mod:`repro.reference.cachesim`), cache-size sweeps by way reduction — with
+the constant-associativity variant of footnote 3 — (:mod:`repro.reference.
+sweep`), and the baseline-offset calibration the paper applies to correct
+cold-start and residual-prefetcher effects (:mod:`repro.reference.calibrate`).
+"""
+
+from .cachesim import ReferencePoint, simulate_trace
+from .sweep import ReferenceCurve, reference_curve
+from .calibrate import calibrate_offset, apply_offset
+
+__all__ = [
+    "ReferencePoint",
+    "simulate_trace",
+    "ReferenceCurve",
+    "reference_curve",
+    "calibrate_offset",
+    "apply_offset",
+]

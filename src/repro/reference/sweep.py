@@ -1,0 +1,119 @@
+"""Cache-size sweeps for reference curves.
+
+Default mode shrinks the L3 by *way reduction* at a constant set count —
+the geometry the Pirate induces (§II-A: co-runners contend for ways, so the
+Target effectively sees lower associativity).  Footnote 3's ablation,
+constant associativity with fewer sets, is also provided; the paper found
+the two agree above four ways for everything except LBM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import MachineConfig, nehalem_config
+from ..errors import TraceError
+from ..tracing.trace import AddressTrace
+from ..units import MB
+from .cachesim import ReferencePoint, simulate_trace, single_core_config
+
+
+@dataclass
+class ReferenceCurve:
+    """Reference fetch/miss ratios as a function of cache size."""
+
+    benchmark: str
+    policy: str
+    mode: str
+    points: list[ReferencePoint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.points.sort(key=lambda p: p.cache_bytes)
+
+    @property
+    def cache_mb(self) -> np.ndarray:
+        return np.array([p.cache_bytes / MB for p in self.points])
+
+    @property
+    def fetch_ratio(self) -> np.ndarray:
+        return np.array([p.fetch_ratio for p in self.points])
+
+    @property
+    def miss_ratio(self) -> np.ndarray:
+        return np.array([p.miss_ratio for p in self.points])
+
+    def fetch_ratio_at(self, cache_mb: float) -> float:
+        """Interpolated fetch ratio at an arbitrary size."""
+        return float(np.interp(cache_mb, self.cache_mb, self.fetch_ratio))
+
+    def shifted(self, offset: float) -> "ReferenceCurve":
+        """Curve with ``offset`` added to every fetch ratio (calibration)."""
+        pts = [
+            ReferencePoint(
+                benchmark=p.benchmark,
+                cache_bytes=p.cache_bytes,
+                ways=p.ways,
+                fetch_ratio=max(p.fetch_ratio + offset, 0.0),
+                miss_ratio=p.miss_ratio,
+                fetches=p.fetches,
+                misses=p.misses,
+                accesses=p.accesses,
+                policy=p.policy,
+            )
+            for p in self.points
+        ]
+        return ReferenceCurve(self.benchmark, self.policy, self.mode, pts)
+
+
+def _way_grid(base: MachineConfig, sizes_mb: list[float]) -> list[int]:
+    way_bytes = base.l3.size // base.l3.ways
+    ways = []
+    for size in sizes_mb:
+        w = int(round(size * MB / way_bytes))
+        if w < 1 or w > base.l3.ways:
+            raise TraceError(f"size {size}MB not representable by way reduction")
+        if abs(w * way_bytes - size * MB) > 1e-6 * MB:
+            raise TraceError(f"size {size}MB is not a whole number of ways")
+        ways.append(w)
+    return ways
+
+
+def reference_curve(
+    trace: AddressTrace,
+    sizes_mb: list[float],
+    *,
+    base_config: MachineConfig | None = None,
+    policy: str = "nru",
+    mode: str = "ways",
+    prefetch: bool = False,
+    warmup_fraction: float = 0.25,
+    seed: int = 0,
+) -> ReferenceCurve:
+    """Sweep cache sizes and replay the trace at each.
+
+    ``policy`` selects the L3 replacement model ("nru" is the Nehalem-
+    specific simulator, "lru" the generic one — Fig. 4 contrasts them);
+    ``mode`` is "ways" (default) or "sets" (footnote 3).
+    """
+    base = base_config or nehalem_config()
+    if mode not in ("ways", "sets"):
+        raise TraceError(f"unknown sweep mode {mode!r}")
+    points = []
+    if mode == "ways":
+        for ways in _way_grid(base, sizes_mb):
+            cfg = single_core_config(base, l3_ways=ways, policy=policy, prefetch=prefetch)
+            points.append(
+                simulate_trace(trace, cfg, warmup_fraction=warmup_fraction, seed=seed)
+            )
+    else:
+        for size in sizes_mb:
+            nbytes = int(size * MB)
+            if nbytes % (base.l3.ways * base.l3.line_size) != 0:
+                raise TraceError(f"size {size}MB not representable at constant assoc")
+            cfg = single_core_config(base, l3_size=nbytes, policy=policy, prefetch=prefetch)
+            points.append(
+                simulate_trace(trace, cfg, warmup_fraction=warmup_fraction, seed=seed)
+            )
+    return ReferenceCurve(benchmark=trace.benchmark, policy=policy, mode=mode, points=points)

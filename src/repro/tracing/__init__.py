@@ -1,0 +1,16 @@
+"""Trace capture and profiling stand-ins (§III-B1 methodology).
+
+The paper generates reference fetch-ratio curves by capturing address traces
+with Pin at hot-code markers found with Gprof, then replaying them through a
+cache simulator.  This package provides the same workflow for the simulated
+machine: :mod:`repro.tracing.trace` holds compact address traces,
+:mod:`repro.tracing.tracer` captures them from a workload between
+instruction markers, and :mod:`repro.tracing.profiler` produces the flat
+time profile used to place those markers on hot phases.
+"""
+
+from .trace import AddressTrace
+from .tracer import capture_trace
+from .profiler import FlatProfile, profile_workload
+
+__all__ = ["AddressTrace", "capture_trace", "FlatProfile", "profile_workload"]

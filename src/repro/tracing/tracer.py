@@ -1,0 +1,79 @@
+"""The Pin stand-in: capture address traces between instruction markers.
+
+The paper instruments binaries with Pin to record the memory references of
+the hot code region (about one billion accesses), starting and stopping at
+specific instruction addresses.  On the simulated side, a workload *is* its
+memory reference stream, so tracing means: advance the workload to the start
+marker (discarding output), then record until the stop marker.
+
+The same marker values are handed to :func:`repro.core.attach.
+measure_between_markers` so the Pirate measures exactly the traced window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceError
+from ..hardware.thread import WorkloadLike
+from .trace import AddressTrace
+
+#: chunk granularity for fast-forward/capture (lines)
+_CHUNK = 65_536
+
+
+def _lines_for_instructions(workload: WorkloadLike, instructions: float) -> int:
+    return int(instructions * workload.mem_fraction / workload.accesses_per_line)
+
+
+def capture_trace(
+    workload: WorkloadLike,
+    start_marker: float,
+    stop_marker: float,
+    *,
+    benchmark: str | None = None,
+    keep_writes: bool = True,
+) -> AddressTrace:
+    """Record ``workload``'s references between two instruction markers.
+
+    The workload is consumed from its current state (callers normally pass a
+    freshly built instance); references before ``start_marker`` are generated
+    and discarded, mirroring how Pin fast-forwards to the hot region.
+    """
+    if not 0 <= start_marker < stop_marker:
+        raise TraceError("markers must satisfy 0 <= start < stop")
+    skip = _lines_for_instructions(workload, start_marker)
+    keep = _lines_for_instructions(workload, stop_marker - start_marker)
+    if keep <= 0:
+        raise TraceError("marker window contains no memory references")
+
+    remaining = skip
+    while remaining > 0:
+        n = min(remaining, _CHUNK)
+        workload.chunk(n)
+        remaining -= n
+
+    pieces: list[np.ndarray] = []
+    write_pieces: list[np.ndarray] = []
+    remaining = keep
+    while remaining > 0:
+        n = min(remaining, _CHUNK)
+        lines, writes = workload.chunk(n)
+        pieces.append(np.asarray(lines, dtype=np.int64))
+        if keep_writes and writes is not None:
+            write_pieces.append(np.asarray(writes, dtype=bool))
+        remaining -= n
+
+    lines = np.concatenate(pieces)
+    writes = np.concatenate(write_pieces) if write_pieces else None
+    if writes is not None and writes.shape != lines.shape:
+        raise TraceError("workload produced inconsistent write masks")
+    return AddressTrace(
+        benchmark=benchmark or workload.name,
+        lines=lines,
+        writes=writes,
+        start_marker=start_marker,
+        stop_marker=stop_marker,
+        accesses_per_line=workload.accesses_per_line,
+        meta={"mem_fraction": workload.mem_fraction},
+    )

@@ -1,0 +1,73 @@
+"""Unit constants and conversion helpers used across the library.
+
+All sizes are in bytes, all frequencies in Hz, all bandwidths in bytes per
+second unless a function name says otherwise.  The simulated machine is
+clocked in *cycles*; conversions between cycles and seconds always go through
+an explicit clock frequency so no module hides an implicit clock.
+"""
+
+from __future__ import annotations
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+
+KHZ: float = 1e3
+MHZ: float = 1e6
+GHZ: float = 1e9
+
+#: Cache-line size of the modelled Nehalem system (Table I uses 64B lines).
+LINE_SIZE: int = 64
+
+
+def bytes_per_cycle(bandwidth_gbps: float, clock_hz: float) -> float:
+    """Convert a bandwidth in GB/s into bytes per clock cycle.
+
+    ``bandwidth_gbps`` uses decimal GB (1e9 bytes) as the paper does for
+    DRAM/L3 bandwidth figures (10.4 GB/s, 68 GB/s).
+    """
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return bandwidth_gbps * 1e9 / clock_hz
+
+
+def gbps_from_bytes_per_cycle(bpc: float, clock_hz: float) -> float:
+    """Convert bytes/cycle into decimal GB/s for reporting."""
+    return bpc * clock_hz / 1e9
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Convert a cycle count into seconds at the given clock."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def mb(nbytes: float) -> float:
+    """Express a byte count in (binary) megabytes, for table/plot axes."""
+    return nbytes / MB
+
+
+def fmt_size(nbytes: int) -> str:
+    """Human readable size string (``512KB``, ``8MB``, ``64B``)."""
+    if nbytes % MB == 0:
+        return f"{nbytes // MB}MB"
+    if nbytes % KB == 0:
+        return f"{nbytes // KB}KB"
+    if nbytes >= MB:
+        return f"{nbytes / MB:.1f}MB"
+    if nbytes >= KB:
+        return f"{nbytes / KB:.1f}KB"
+    return f"{nbytes}B"
+
+
+def is_pow2(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ilog2(n: int) -> int:
+    """Integer log2 of a power of two; raises for anything else."""
+    if not is_pow2(n):
+        raise ValueError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1

@@ -1,0 +1,46 @@
+"""Synthetic workloads standing in for the paper's benchmark suite.
+
+The paper evaluates on SPEC CPU2006 plus the Cigar application and two micro
+benchmarks.  None of those are available offline, so this package provides
+synthetic address-stream generators whose *curve shapes* (working-set knees,
+streaming plateaus, phase behaviour) are calibrated to the paper's figures —
+see ``repro.workloads.spec`` for the per-benchmark parameters and DESIGN.md
+§2 for the substitution rationale.
+
+Building blocks: access patterns (:mod:`repro.workloads.patterns`), weighted
+mixtures (:mod:`repro.workloads.mixture`), phase alternation
+(:mod:`repro.workloads.phased`), the named suite (:mod:`repro.workloads.spec`),
+micro benchmarks for Fig. 4 (:mod:`repro.workloads.micro`) and the cigar
+workload with its 6MB knee (:mod:`repro.workloads.cigar`).
+"""
+
+from .base import Workload, instance_base
+from .patterns import (
+    PointerChasePattern,
+    RandomPattern,
+    SequentialPattern,
+    StridedPattern,
+)
+from .mixture import MixtureComponent, MixtureWorkload
+from .phased import PhasedWorkload
+from .spec import BENCHMARK_NAMES, benchmark_spec, make_benchmark
+from .micro import random_micro, sequential_micro
+from .cigar import make_cigar
+
+__all__ = [
+    "Workload",
+    "instance_base",
+    "SequentialPattern",
+    "RandomPattern",
+    "StridedPattern",
+    "PointerChasePattern",
+    "MixtureComponent",
+    "MixtureWorkload",
+    "PhasedWorkload",
+    "BENCHMARK_NAMES",
+    "benchmark_spec",
+    "make_benchmark",
+    "random_micro",
+    "sequential_micro",
+    "make_cigar",
+]

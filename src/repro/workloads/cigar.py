@@ -1,0 +1,61 @@
+"""The Cigar stand-in: a genetic-algorithm-style workload with a 6MB knee.
+
+§III-A: "We also examined the Cigar application as it has a distinctive jump
+in its fetch ratio curve at 6MB", and Fig. 6 (lower-right) shows that jump.
+The mechanism is a population buffer of ~6MB swept once per generation: while
+the available cache holds the whole population the sweep hits; as soon as it
+does not, the cyclic sweep degrades sharply — a fetch-ratio cliff pinned at
+the population size.
+"""
+
+from __future__ import annotations
+
+from ..rng import stable_seed
+from ..units import KB, MB
+from .base import Workload, instance_base
+from .mixture import MixtureComponent, MixtureWorkload
+from .patterns import RandomPattern, SequentialPattern
+
+_LINES_PER_MB = MB // 64
+
+#: Population buffer size (MB) — the paper's knee position.
+CIGAR_KNEE_MB = 6.0
+
+#: Access fraction of the population sweep (the rest splits between a small
+#: scratch buffer and the L1-resident hot region).
+_POPULATION_WEIGHT = 0.35
+_SCRATCH_WEIGHT = 0.15
+
+
+def make_cigar(*, instance: int = 0, seed: int = 0) -> Workload:
+    """Build the cigar workload (knee fixed at 6MB, Fig. 6)."""
+    base = instance_base(instance)
+    population = SequentialPattern(
+        base, int(CIGAR_KNEE_MB * _LINES_PER_MB), seed=stable_seed(seed, "cigar-pop")
+    )
+    scratch = RandomPattern(
+        base + 8 * _LINES_PER_MB * 4,  # far past the population buffer
+        int(0.15 * _LINES_PER_MB),
+        seed=stable_seed(seed, "cigar-scratch"),
+    )
+    hot = RandomPattern(
+        base + 16 * _LINES_PER_MB * 4,
+        8 * KB // 64,
+        seed=stable_seed(seed, "cigar-hot"),
+    )
+    return MixtureWorkload(
+        "cigar",
+        [
+            MixtureComponent(pattern=population, weight=_POPULATION_WEIGHT),
+            MixtureComponent(pattern=scratch, weight=_SCRATCH_WEIGHT),
+            MixtureComponent(
+                pattern=hot, weight=1.0 - _POPULATION_WEIGHT - _SCRATCH_WEIGHT
+            ),
+        ],
+        mem_fraction=0.35,
+        cpi_base=0.8,
+        mlp=3.0,
+        accesses_per_line=2.0,
+        write_fraction=0.3,
+        seed=stable_seed(seed, "cigar-wl"),
+    )

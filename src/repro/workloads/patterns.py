@@ -1,0 +1,169 @@
+"""Primitive address patterns.
+
+Each pattern is a deterministic, resettable generator of line *offsets*
+within a region of ``region_lines`` lines starting at ``base_line``.
+Patterns are the leaves composed by :class:`~repro.workloads.mixture.
+MixtureWorkload`; they can also be used as standalone workload streams.
+
+All generators are vectorized: a chunk of ``n`` offsets costs O(n) numpy
+work, not n Python iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..rng import make_rng
+
+
+class Pattern:
+    """Base class: a stream of line addresses inside one region."""
+
+    def __init__(self, base_line: int, region_lines: int, seed: int | None = None):
+        if region_lines <= 0:
+            raise ConfigError("region_lines must be positive")
+        if base_line < 0:
+            raise ConfigError("base_line must be non-negative")
+        self.base_line = base_line
+        self.region_lines = region_lines
+        self._seed = seed
+        self._rng = make_rng(seed)
+
+    def lines(self, n: int) -> np.ndarray:
+        """Next ``n`` absolute line addresses (int64)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Rewind to the initial state."""
+        self._rng = make_rng(self._seed)
+
+    def footprint_lines(self) -> int:
+        """Distinct lines this pattern touches."""
+        return self.region_lines
+
+
+class SequentialPattern(Pattern):
+    """Cyclic unit-stride sweep, optionally broken into segments.
+
+    With ``segment_lines`` set, the stream jumps to a random segment-aligned
+    position every ``segment_lines`` lines.  Real stream prefetchers stop at
+    page boundaries; segments model that plus multi-array interleaving, and
+    directly control the fetch-to-miss ratio: with a prefetch trigger of
+    ``t``, each segment costs ``t`` demand misses out of ``segment_lines``
+    fetches (this is how the lbm stand-in gets its 8x gap, §IV).
+    """
+
+    def __init__(
+        self,
+        base_line: int,
+        region_lines: int,
+        *,
+        segment_lines: int | None = None,
+        seed: int | None = None,
+    ):
+        super().__init__(base_line, region_lines, seed)
+        if segment_lines is not None:
+            if segment_lines <= 0 or segment_lines > region_lines:
+                raise ConfigError("segment_lines must be in [1, region_lines]")
+        self.segment_lines = segment_lines
+        self._pos = 0
+        self._seg_left = segment_lines if segment_lines else 0
+
+    def lines(self, n: int) -> np.ndarray:
+        base = self.base_line
+        region = self.region_lines
+        if self.segment_lines is None:
+            out = (self._pos + np.arange(n, dtype=np.int64)) % region + base
+            self._pos = (self._pos + n) % region
+            return out
+        # segmented: emit runs, jumping to a random aligned segment when a
+        # run is exhausted
+        seg = self.segment_lines
+        nseg = max(region // seg, 1)
+        out = np.empty(n, dtype=np.int64)
+        filled = 0
+        while filled < n:
+            if self._seg_left <= 0:
+                self._pos = int(self._rng.integers(0, nseg)) * seg
+                self._seg_left = seg
+            take = min(n - filled, self._seg_left)
+            out[filled : filled + take] = (
+                self._pos + np.arange(take, dtype=np.int64)
+            ) % region + base
+            self._pos = (self._pos + take) % region
+            self._seg_left -= take
+            filled += take
+        return out
+
+    def reset(self) -> None:
+        super().reset()
+        self._pos = 0
+        self._seg_left = self.segment_lines if self.segment_lines else 0
+
+
+class RandomPattern(Pattern):
+    """Uniform random line accesses over the region."""
+
+    def lines(self, n: int) -> np.ndarray:
+        return self._rng.integers(0, self.region_lines, size=n, dtype=np.int64) + self.base_line
+
+
+class StridedPattern(Pattern):
+    """Cyclic access with a fixed stride in lines (> 1 defeats the stream
+    prefetcher while preserving regularity)."""
+
+    def __init__(
+        self,
+        base_line: int,
+        region_lines: int,
+        *,
+        stride_lines: int = 2,
+        seed: int | None = None,
+    ):
+        super().__init__(base_line, region_lines, seed)
+        if stride_lines <= 0:
+            raise ConfigError("stride_lines must be positive")
+        self.stride_lines = stride_lines
+        self._pos = 0
+
+    def lines(self, n: int) -> np.ndarray:
+        region = self.region_lines
+        idx = (self._pos + np.arange(n, dtype=np.int64) * self.stride_lines) % region
+        self._pos = int((self._pos + n * self.stride_lines) % region)
+        return idx + self.base_line
+
+    def footprint_lines(self) -> int:
+        # a stride that divides the region size only ever revisits a subset
+        g = np.gcd(self.stride_lines, self.region_lines)
+        return self.region_lines // int(g)
+
+    def reset(self) -> None:
+        super().reset()
+        self._pos = 0
+
+
+class PointerChasePattern(Pattern):
+    """Walk of a random Hamiltonian cycle over the region.
+
+    Models linked-data traversal (mcf, omnetpp): every line is visited once
+    per lap like a sweep, but the address sequence is de-correlated so the
+    stream prefetcher cannot help, and callers should pair it with a low
+    ``mlp`` since each load depends on the previous one.
+    """
+
+    def __init__(self, base_line: int, region_lines: int, seed: int | None = None):
+        super().__init__(base_line, region_lines, seed)
+        self._order = self._rng.permutation(region_lines).astype(np.int64)
+        self._pos = 0
+
+    def lines(self, n: int) -> np.ndarray:
+        region = self.region_lines
+        idx = (self._pos + np.arange(n, dtype=np.int64)) % region
+        self._pos = int((self._pos + n) % region)
+        return self._order[idx] + self.base_line
+
+    def reset(self) -> None:
+        super().reset()
+        self._order = self._rng.permutation(self.region_lines).astype(np.int64)
+        self._pos = 0

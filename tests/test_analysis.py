@@ -1,0 +1,189 @@
+"""Scaling prediction/measurement, curve errors, table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    curve_errors,
+    format_table1,
+    format_table2,
+    format_table3,
+    measure_throughput,
+    predict_throughput,
+)
+from repro.core.curves import CurvePoint, PerformanceCurve
+from repro.errors import MeasurementError
+from repro.reference.cachesim import ReferencePoint
+from repro.reference.sweep import ReferenceCurve
+from repro.units import MB
+from repro.workloads import make_benchmark
+from repro.workloads.micro import random_micro
+
+
+def make_curve(points):
+    """points: list of (mb, cpi, bw, fr, valid)."""
+    return PerformanceCurve(
+        "t",
+        [
+            CurvePoint(
+                cache_bytes=int(mb * MB), cpi=cpi, bandwidth_gbps=bw,
+                fetch_ratio=fr, miss_ratio=fr, pirate_fetch_ratio=0.0,
+                valid=valid, intervals=1,
+            )
+            for mb, cpi, bw, fr, valid in points
+        ],
+    )
+
+
+# ------------------------------------------------------------------ predict
+
+
+def test_predict_cache_limited_scaling():
+    """Fig. 1's arithmetic: CPI 1.67 at 8MB, 2.0 at 2MB -> 4 instances run
+    at 4 * 1.67/2.0 = 3.34x throughput."""
+    curve = make_curve([
+        (0.5, 2.2, 1.0, 0.1, True), (2.0, 2.0, 0.8, 0.08, True),
+        (4.0, 1.8, 0.6, 0.05, True), (8.0, 1.67, 0.5, 0.03, True),
+    ])
+    p = predict_throughput(curve, 4)
+    assert p.cache_per_instance_mb == 2.0
+    assert not p.bandwidth_limited
+    assert p.throughput == pytest.approx(4 * 1.67 / 2.0)
+    assert p.ideal == 4.0
+
+
+def test_predict_bandwidth_limited_scaling():
+    """Fig. 2's arithmetic: flat CPI but 3 GB/s per instance at 2MB ->
+    4 instances demand 12 GB/s of 10.4 -> throughput 4 * 10.4/12 = 3.47."""
+    curve = make_curve([
+        (2.0, 1.0, 3.0, 0.1, True), (8.0, 1.0, 2.5, 0.08, True),
+    ])
+    p = predict_throughput(curve, 4, max_bandwidth_gbps=10.4)
+    assert p.bandwidth_limited
+    assert p.required_bandwidth_gbps == pytest.approx(12.0)
+    assert p.throughput == pytest.approx(4 * 10.4 / 12.0)
+
+
+def test_predict_single_instance_is_unity():
+    curve = make_curve([(8.0, 1.5, 1.0, 0.1, True)])
+    p = predict_throughput(curve, 1)
+    assert p.throughput == pytest.approx(1.0)
+
+
+def test_predict_validation():
+    curve = make_curve([(8.0, 1.5, 1.0, 0.1, True)])
+    with pytest.raises(MeasurementError):
+        predict_throughput(curve, 0)
+
+
+# ------------------------------------------------------------------ measure
+
+
+def test_measure_throughput_single_instance():
+    m = measure_throughput(
+        lambda i: random_micro(1.0, instance=i, seed=3), 1, 200_000
+    )
+    assert m.throughput == pytest.approx(1.0)
+    assert len(m.cpis) == 1
+
+
+def test_measure_throughput_scaling_below_ideal():
+    """Co-running large-footprint instances cannot scale perfectly."""
+    m = measure_throughput(
+        lambda i: random_micro(5.0, instance=i, seed=3), 2, 250_000
+    )
+    assert 1.0 < m.throughput < 2.0
+    assert len(m.cpis) == 2
+    assert m.bandwidth_gbps > 0
+
+
+def test_measure_throughput_near_ideal_for_tiny_footprints():
+    m = measure_throughput(
+        lambda i: random_micro(0.05, instance=i, seed=3), 2, 250_000
+    )
+    assert m.throughput == pytest.approx(2.0, rel=0.06)
+
+
+def test_measure_throughput_validation():
+    with pytest.raises(MeasurementError):
+        measure_throughput(lambda i: random_micro(1.0, instance=i), 5, 1000)
+
+
+# ------------------------------------------------------------------ errors
+
+
+def ref_curve(points):
+    return ReferenceCurve(
+        "t", "nru", "ways",
+        [
+            ReferencePoint(
+                benchmark="t", cache_bytes=int(mb * MB), ways=int(mb * 2),
+                fetch_ratio=fr, miss_ratio=fr, fetches=0, misses=0,
+                accesses=1.0, policy="nru",
+            )
+            for mb, fr in points
+        ],
+    )
+
+
+def test_curve_errors_basic():
+    pirate = make_curve([(2.0, 1.0, 1.0, 0.10, True), (8.0, 1.0, 1.0, 0.02, True)])
+    ref = ref_curve([(2.0, 0.08), (8.0, 0.02)])
+    err = curve_errors(pirate, ref)
+    assert err.absolute == pytest.approx(0.01)  # mean(|0.02|, |0|)
+    assert err.max_absolute == pytest.approx(0.02)
+    assert err.relative == pytest.approx((0.02 / 0.08) / 2)
+
+
+def test_curve_errors_excludes_invalid_points():
+    pirate = make_curve([
+        (0.5, 1.0, 1.0, 0.5, False),  # pirate over threshold: excluded
+        (8.0, 1.0, 1.0, 0.02, True),
+    ])
+    ref = ref_curve([(0.5, 0.1), (8.0, 0.02)])
+    err = curve_errors(pirate, ref)
+    assert len(err.sizes_mb) == 1
+    assert err.absolute == pytest.approx(0.0)
+
+
+def test_curve_errors_relative_blowup_for_near_zero_ratios():
+    """The povray effect: tiny absolute error, huge relative error."""
+    pirate = make_curve([(8.0, 1.0, 1.0, 0.0002, True)])
+    ref = ref_curve([(8.0, 0.0001)])
+    err = curve_errors(pirate, ref)
+    assert err.absolute < 0.001
+    assert err.relative == pytest.approx(1.0)
+
+
+def test_curve_errors_need_trusted_points():
+    pirate = make_curve([(8.0, 1.0, 1.0, 0.1, False)])
+    with pytest.raises(MeasurementError):
+        curve_errors(pirate, ref_curve([(8.0, 0.1)]))
+
+
+# ------------------------------------------------------------------ tables
+
+
+def test_format_table1_matches_paper_geometry():
+    text = format_table1()
+    assert "32KB" in text and "256KB" in text and "8MB" in text
+    assert "16-way" in text and "Nehalem replacement policy" in text
+    assert "inclusive" in text
+
+
+def test_format_table2():
+    text = format_table2([
+        {"benchmark": "429.mcf", "stolen_1t_mb": 5.5, "stolen_2t_mb": 6.5, "slowdown": 0.05},
+    ])
+    assert "429.mcf" in text and "5.5" in text and "6.5" in text and "5.0%" in text
+
+
+def test_format_table3():
+    text = format_table3([
+        {
+            "interval_label": "100M", "avg_overhead": 0.055, "max_overhead": 0.17,
+            "avg_error": 0.005, "max_error": 0.031,
+            "avg_error_nogcc": 0.003, "max_error_nogcc": 0.010,
+        }
+    ])
+    assert "100M" in text and "5.5" in text

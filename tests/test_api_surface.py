@@ -1,0 +1,65 @@
+"""Public API surface: exports exist, version sane, docs present."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__.count(".") == 2
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.caches",
+        "repro.hardware",
+        "repro.workloads",
+        "repro.core",
+        "repro.core.bandit",
+        "repro.core.multitarget",
+        "repro.tracing",
+        "repro.reference",
+        "repro.analysis",
+        "repro.analysis.reuse",
+        "repro.analysis.phases",
+        "repro.analysis.plot",
+        "repro.experiments",
+        "repro.experiments.runall",
+        "repro.cli",
+    ],
+)
+def test_submodules_import_and_have_docstrings(module):
+    mod = importlib.import_module(module)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 40
+
+
+def test_public_callables_documented():
+    """Every top-level public callable/class carries a docstring."""
+    missing = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj) and not (obj.__doc__ or "").strip():
+            missing.append(name)
+    assert not missing, missing
+
+
+def test_core_package_exports_resolve():
+    import repro.core as core
+
+    for name in core.__all__:
+        assert hasattr(core, name), name
+
+
+def test_analysis_package_exports_resolve():
+    import repro.analysis as analysis
+
+    for name in analysis.__all__:
+        assert hasattr(analysis, name), name

@@ -1,0 +1,90 @@
+"""Bandwidth-domain contention model."""
+
+import pytest
+
+from repro.hardware.bandwidth import BandwidthDomain
+
+
+def test_no_contention_below_capacity():
+    d = BandwidthDomain("DRAM", capacity_bytes_per_cycle=4.6, epoch_cycles=1000)
+    d.record(0, nbytes=1000.0, unstretched_cycles=1000.0)  # 1 B/cyc demand
+    assert d.maybe_rollover(1500.0)
+    assert d.stretch == 1.0
+    assert d.demand_rate == pytest.approx(1.0)
+    assert d.utilization == pytest.approx(1.0 / 4.6)
+
+
+def test_oversubscription_publishes_proportional_stretch():
+    """Two threads demanding 3 B/cyc each over a 4.6 B/cyc pipe -> 30% slower.
+
+    This is the paper's LBM arithmetic: 12 GB/s demanded over 10.4 GB/s
+    delivers 87% of the requested rate (Fig. 2)."""
+    d = BandwidthDomain("DRAM", capacity_bytes_per_cycle=4.6, epoch_cycles=1000)
+    d.record(0, 3000.0, 1000.0)
+    d.record(1, 3000.0, 1000.0)
+    d.maybe_rollover(1001.0)
+    assert d.stretch == pytest.approx(6.0 / 4.6)
+
+
+def test_lbm_87_percent_figure():
+    # 12 GB/s demand / 10.4 GB/s capacity at 2.26 GHz
+    cap = 10.4e9 / 2.26e9
+    dem = 12.0e9 / 2.26e9
+    d = BandwidthDomain("DRAM", capacity_bytes_per_cycle=cap, epoch_cycles=1000)
+    for tid in range(4):
+        d.record(tid, dem / 4 * 1000, 1000.0)
+    d.maybe_rollover(1001.0)
+    assert 1.0 / d.stretch == pytest.approx(10.4 / 12.0, rel=1e-6)
+
+
+def test_rollover_only_on_epoch_boundary():
+    d = BandwidthDomain("X", 1.0, epoch_cycles=1000)
+    d.record(0, 5000.0, 1000.0)
+    assert not d.maybe_rollover(999.0)
+    assert d.stretch == 1.0
+    assert d.maybe_rollover(1000.0)
+    assert d.stretch == pytest.approx(5.0)
+    # second call in the same epoch does nothing
+    assert not d.maybe_rollover(1500.0)
+
+
+def test_demand_accumulates_per_thread_rate():
+    """Demand is the sum of per-thread rates, not bytes/epoch."""
+    d = BandwidthDomain("X", 10.0, epoch_cycles=1000)
+    # one thread active for only 100 of its own cycles at 8 B/cyc
+    d.record(0, 800.0, 100.0)
+    d.maybe_rollover(1000.0)
+    assert d.demand_rate == pytest.approx(8.0)
+
+
+def test_latency_scale_grows_with_utilization_and_caps():
+    d = BandwidthDomain("X", 10.0, epoch_cycles=1000, latency_alpha=1.0)
+    d.record(0, 5000.0, 1000.0)  # u = 0.5
+    d.maybe_rollover(1000.0)
+    assert d.latency_scale == pytest.approx(1.5)
+    d.record(0, 50_000.0, 1000.0)  # u = 5 -> capped at 1
+    d.maybe_rollover(2000.0)
+    assert d.latency_scale == pytest.approx(2.0)
+
+
+def test_zero_traffic_ignored():
+    d = BandwidthDomain("X", 1.0)
+    d.record(0, 0.0, 100.0)
+    d.record(0, 10.0, 0.0)
+    assert d.total_bytes == 0.0
+
+
+def test_reset():
+    d = BandwidthDomain("X", 1.0, epoch_cycles=10)
+    d.record(0, 100.0, 10.0)
+    d.maybe_rollover(10.0)
+    assert d.stretch > 1.0
+    d.reset()
+    assert d.stretch == 1.0 and d.total_bytes == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BandwidthDomain("X", 0.0)
+    with pytest.raises(ValueError):
+        BandwidthDomain("X", 1.0, epoch_cycles=0.0)

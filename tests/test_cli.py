@@ -1,0 +1,84 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class Sink:
+    def __init__(self):
+        self.lines = []
+
+    def __call__(self, *args):
+        self.lines.append(" ".join(str(a) for a in args))
+
+    @property
+    def text(self):
+        return "\n".join(self.lines)
+
+
+def test_parser_has_all_commands():
+    parser = build_parser()
+    text = parser.format_help()
+    for cmd in ("list", "curve", "steal", "probe", "bandwidth", "reuse", "experiments"):
+        assert cmd in text
+
+
+def test_list_command():
+    out = Sink()
+    assert main(["list"], out=out) == 0
+    assert "mcf" in out.text and "429.mcf" in out.text
+    assert "cigar" in out.text
+    assert out.text.count("\n") >= 28
+
+
+def test_unknown_benchmark_rejected():
+    out = Sink()
+    assert main(["curve", "doom"], out=out) == 2
+    assert "unknown benchmark" in out.text
+
+
+def test_curve_command_small():
+    out = Sink()
+    rc = main(
+        ["curve", "povray", "--sizes", "8.0,2.0", "--total", "1200000",
+         "--interval", "100000", "--plot"],
+        out=out,
+    )
+    assert rc == 0
+    assert "povray" in out.text
+    assert "overhead" in out.text
+    assert "cpi vs cache size" in out.text  # the plot
+
+
+def test_probe_command():
+    out = Sink()
+    rc = main(["probe", "povray", "--interval", "100000"], out=out)
+    assert rc == 0
+    assert "safe pirate thread count" in out.text
+
+
+def test_bandwidth_command():
+    out = Sink()
+    rc = main(
+        ["bandwidth", "povray", "--gaps", "20", "--interval", "120000"], out=out
+    )
+    assert rc == 0
+    assert "available off-chip bandwidth" in out.text
+
+
+def test_reuse_command():
+    out = Sink()
+    rc = main(
+        ["reuse", "povray", "--window", "200000", "--sizes", "0.5,8"], out=out
+    )
+    assert rc == 0
+    assert "reuse-distance model" in out.text
+    assert "working-set estimate" in out.text
+
+
+def test_steal_command_tiny():
+    out = Sink()
+    rc = main(["steal", "povray", "--interval", "60000"], out=out)
+    assert rc == 0
+    assert "max stealable" in out.text

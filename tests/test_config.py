@@ -1,0 +1,95 @@
+"""Machine/cache configuration invariants (Table I geometry)."""
+
+import pytest
+
+from repro.config import CacheConfig, CoreConfig, MachineConfig, nehalem_config, tiny_config
+from repro.errors import ConfigError
+from repro.units import KB, MB
+
+
+def test_nehalem_matches_table_1():
+    m = nehalem_config()
+    assert m.num_cores == 4
+    assert m.l1.size == 32 * KB and m.l1.ways == 8 and m.l1.policy == "plru"
+    assert m.l2.size == 256 * KB and m.l2.ways == 8 and m.l2.policy == "plru"
+    assert m.l3.size == 8 * MB and m.l3.ways == 16 and m.l3.policy == "nru"
+    assert m.l3.inclusive and m.l3.shared
+    assert not m.l1.shared and not m.l2.shared
+    assert m.dram_bandwidth_gbps == pytest.approx(10.4)
+    assert m.l3_bandwidth_gbps == pytest.approx(68.0)
+
+
+def test_nehalem_l3_set_count():
+    # 8MB / (16 ways * 64B) = 8192 sets
+    assert nehalem_config().l3.num_sets == 8192
+    assert nehalem_config().l1.num_sets == 64
+    assert nehalem_config().l2.num_sets == 512
+
+
+def test_cache_num_lines():
+    assert nehalem_config().l3.num_lines == 8 * MB // 64
+
+
+def test_with_ways_preserves_sets():
+    l3 = nehalem_config().l3
+    smaller = l3.with_ways(4)
+    assert smaller.num_sets == l3.num_sets
+    assert smaller.size == 2 * MB
+    assert smaller.policy == l3.policy
+
+
+def test_with_size_same_assoc():
+    l3 = nehalem_config().l3
+    smaller = l3.with_size_same_assoc(2 * MB)
+    assert smaller.ways == 16
+    assert smaller.num_sets == l3.num_sets // 4
+
+
+def test_cache_config_validation():
+    with pytest.raises(ConfigError):
+        CacheConfig("bad", 32 * KB, 8, policy="mru")
+    with pytest.raises(ConfigError):
+        CacheConfig("bad", 32 * KB, 0)
+    with pytest.raises(ConfigError):
+        CacheConfig("bad", 1000, 8)  # not a multiple of ways*line
+    with pytest.raises(ConfigError):
+        CacheConfig("bad", 3 * 8 * 64, 8)  # 3 sets: not a power of two
+
+
+def test_machine_validation():
+    with pytest.raises(ConfigError):
+        MachineConfig(num_cores=0)
+    with pytest.raises(ConfigError):
+        MachineConfig(
+            l1=CacheConfig("L1", 32 * KB, 8, line_size=32, policy="plru")
+        )  # mixed line sizes
+    with pytest.raises(ConfigError):
+        MachineConfig(dram_bandwidth_gbps=0.0)
+    with pytest.raises(ConfigError):
+        MachineConfig(l3_bandwidth_gbps=-1.0)
+
+
+def test_bandwidth_in_bytes_per_cycle():
+    m = nehalem_config()
+    assert m.dram_bytes_per_cycle == pytest.approx(4.60, abs=0.01)
+    assert m.l3_bytes_per_cycle == pytest.approx(30.1, abs=0.1)
+
+
+def test_core_config_defaults():
+    c = CoreConfig()
+    assert c.clock_hz == pytest.approx(2.26e9)
+    # two saturating cores should land at the paper's 56 GB/s figure
+    two_core_gbps = 2 * c.l3_port_bytes_per_cycle * c.clock_hz / 1e9
+    assert two_core_gbps == pytest.approx(56.0, rel=0.01)
+
+
+def test_tiny_config_is_valid_and_small():
+    m = tiny_config()
+    assert m.l3.num_sets >= 1
+    assert m.l3.size <= 64 * KB
+    assert m.line_size == 64
+
+
+def test_prefetch_flag_roundtrip():
+    assert nehalem_config(prefetch_enabled=False).prefetch_enabled is False
+    assert nehalem_config().prefetch_enabled is True

@@ -1,0 +1,87 @@
+"""Core timing model: stall accounting and bandwidth bounds."""
+
+import pytest
+
+from repro.caches.base import CoreMemStats
+from repro.config import CoreConfig
+from repro.hardware.bandwidth import BandwidthDomain
+from repro.hardware.core import CoreTimingModel
+
+
+def make_model(l3_cap=30.0, dram_cap=4.6):
+    cfg = CoreConfig()
+    l3 = BandwidthDomain("L3", l3_cap)
+    dram = BandwidthDomain("DRAM", dram_cap)
+    return CoreTimingModel(cfg, l3, dram), cfg, l3, dram
+
+
+def test_pure_compute():
+    model, cfg, _, _ = make_model()
+    cycles, bd = model.quantum_cycles(1000, CoreMemStats(), cpi_base=1.5, mlp=2.0, thread_id=0)
+    assert cycles == pytest.approx(1500.0)
+    assert bd.l3_time == 0.0 and bd.dram_time == 0.0
+
+
+def test_l2_hit_stalls_divided_by_mlp():
+    model, cfg, _, _ = make_model()
+    stats = CoreMemStats(l2_hits=100)
+    cycles, bd = model.quantum_cycles(1000, stats, cpi_base=1.0, mlp=2.0, thread_id=0)
+    assert bd.l2_stall == pytest.approx(100 * cfg.l2_hit_latency / 2.0)
+    assert cycles == pytest.approx(1000 + bd.l2_stall)
+
+
+def test_dram_latency_bound():
+    model, cfg, _, _ = make_model()
+    stats = CoreMemStats(l3_misses=10, l3_fetches=10)
+    _, bd = model.quantum_cycles(10_000, stats, cpi_base=1.0, mlp=2.0, thread_id=0)
+    assert bd.dram_latency_bound == pytest.approx(10 * cfg.dram_latency / 2.0)
+    assert bd.dram_time == bd.dram_latency_bound  # latency-bound at this scale
+
+
+def test_dram_bandwidth_bound_kicks_in_under_stretch():
+    model, cfg, _, dram = make_model(dram_cap=4.6)
+    dram.stretch = 2.0  # oversubscribed pipe published by the arbiter
+    stats = CoreMemStats(l3_misses=1000, l3_fetches=1000, dram_writeback_lines=500)
+    _, bd = model.quantum_cycles(1000, stats, cpi_base=1.0, mlp=10.0, thread_id=0)
+    expected_bw = 1500 * 64 * 2.0 / 4.6
+    assert bd.dram_bandwidth_bound == pytest.approx(expected_bw)
+    assert bd.dram_time == pytest.approx(max(bd.dram_latency_bound, expected_bw))
+
+
+def test_l3_port_cap_bounds_l3_time():
+    model, cfg, _, _ = make_model()
+    # pirate-like quantum: all hits, high rate
+    stats = CoreMemStats(l3_hits=10_000)
+    _, bd = model.quantum_cycles(1000, stats, cpi_base=0.1, mlp=20.0, thread_id=0)
+    port_bound = 10_000 * 64 / cfg.l3_port_bytes_per_cycle
+    assert bd.l3_bandwidth_bound >= port_bound * 0.999
+    assert bd.l3_time == pytest.approx(max(bd.l3_latency_bound, bd.l3_bandwidth_bound))
+
+
+def test_latency_scale_inflates_miss_cost():
+    model, cfg, _, dram = make_model()
+    dram.latency_scale = 2.0
+    stats = CoreMemStats(l3_misses=10, l3_fetches=10)
+    _, bd = model.quantum_cycles(100_000, stats, cpi_base=1.0, mlp=1.0, thread_id=0)
+    assert bd.dram_latency_bound == pytest.approx(10 * cfg.dram_latency * 2.0)
+
+
+def test_demand_recorded_with_domains():
+    model, _, l3, dram = make_model()
+    stats = CoreMemStats(l3_hits=50, l3_misses=10, l3_fetches=12, prefetch_fills=2)
+    model.quantum_cycles(1000, stats, cpi_base=1.0, mlp=2.0, thread_id=7)
+    assert l3.total_bytes == (50 + 10 + 2) * 64
+    assert dram.total_bytes == 12 * 64
+
+
+def test_zero_instruction_quantum_never_zero_cycles():
+    model, _, _, _ = make_model()
+    cycles, _ = model.quantum_cycles(0, CoreMemStats(), cpi_base=1.0, mlp=1.0, thread_id=0)
+    assert cycles >= 1.0
+
+
+def test_breakdown_total_matches_cycles():
+    model, _, _, _ = make_model()
+    stats = CoreMemStats(l2_hits=5, l3_hits=7, l3_misses=3, l3_fetches=3)
+    cycles, bd = model.quantum_cycles(500, stats, cpi_base=1.2, mlp=1.5, thread_id=0)
+    assert cycles == pytest.approx(bd.total)

@@ -1,0 +1,60 @@
+"""Performance-counter banks and derived metrics."""
+
+import pytest
+
+from repro.hardware.counters import CounterSample, PerfCounters
+
+
+def test_sample_is_snapshot_not_view():
+    pc = PerfCounters(2)
+    pc.bank(0).cycles = 100.0
+    snap = pc.sample(0)
+    pc.bank(0).cycles = 200.0
+    assert snap.cycles == 100.0
+    assert pc.sample(0).cycles == 200.0
+
+
+def test_delta():
+    a = CounterSample(cycles=100.0, instructions=50, l3_fetches=5, mem_accesses=20)
+    b = CounterSample(cycles=250.0, instructions=150, l3_fetches=9, mem_accesses=60)
+    d = b.delta(a)
+    assert d.cycles == 150.0
+    assert d.instructions == 100
+    assert d.l3_fetches == 4
+    assert d.mem_accesses == 40
+
+
+def test_cpi_ipc():
+    s = CounterSample(cycles=300.0, instructions=100)
+    assert s.cpi == pytest.approx(3.0)
+    assert s.ipc == pytest.approx(1 / 3)
+    assert CounterSample().cpi == 0.0
+    assert CounterSample().ipc == 0.0
+
+
+def test_fetch_and_miss_ratio():
+    s = CounterSample(mem_accesses=1000, l3_fetches=80, l3_misses=10)
+    assert s.fetch_ratio == pytest.approx(0.08)
+    assert s.miss_ratio == pytest.approx(0.01)
+    assert CounterSample().fetch_ratio == 0.0
+
+
+def test_bandwidth_gbps():
+    # 1 line (64B) per cycle at 2.26 GHz = 144.64 GB/s
+    s = CounterSample(cycles=1000.0, dram_bytes=64_000.0)
+    assert s.bandwidth_gbps(2.26e9) == pytest.approx(64 * 2.26, rel=1e-6)
+    assert CounterSample().bandwidth_gbps(2.26e9) == 0.0
+
+
+def test_fetch_rate():
+    s = CounterSample(cycles=1000.0, l3_fetches=10)
+    assert s.fetch_rate == pytest.approx(0.01)
+
+
+def test_sample_all():
+    pc = PerfCounters(3)
+    pc.bank(2).instructions = 7
+    samples = pc.sample_all()
+    assert len(samples) == 3
+    assert samples[2].instructions == 7
+    assert samples[0].instructions == 0

@@ -1,0 +1,162 @@
+"""Three-level hierarchy semantics: inclusion, writebacks, fetch counting."""
+
+import numpy as np
+import pytest
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.config import CacheConfig, MachineConfig
+from repro.units import KB
+
+
+def small_machine(prefetch=False, l3_ways=4, l3_sets=8, num_cores=2, l3_policy="lru"):
+    return MachineConfig(
+        num_cores=num_cores,
+        l1=CacheConfig("L1", 2 * 64 * 2, 2, policy="plru"),  # 2 sets x 2 ways
+        l2=CacheConfig("L2", 4 * 64 * 2, 2, policy="plru"),  # 4 sets x 2 ways
+        l3=CacheConfig(
+            "L3", l3_sets * 64 * l3_ways, l3_ways, policy=l3_policy,
+            inclusive=True, shared=True,
+        ),
+        prefetch_enabled=prefetch,
+    )
+
+
+def test_first_access_misses_everywhere():
+    h = CacheHierarchy(small_machine())
+    s = h.access_chunk(0, [100])
+    assert s.mem_accesses == 1
+    assert s.l1_hits == 0 and s.l2_hits == 0 and s.l3_hits == 0
+    assert s.l3_misses == 1 and s.l3_fetches == 1
+
+
+def test_second_access_hits_l1():
+    h = CacheHierarchy(small_machine())
+    h.access_chunk(0, [100])
+    s = h.access_chunk(0, [100])
+    assert s.l1_hits == 1 and s.l3_fetches == 0
+
+
+def test_l2_hit_after_l1_eviction():
+    h = CacheHierarchy(small_machine())
+    # L1 has 2 sets x 2 ways; lines 0,2,4 map to L1 set 0 and evict each other,
+    # but all fit in L2 (4 sets x 2 ways: sets 0,2,0 -> wait lines mod 4)
+    h.access_chunk(0, [0, 2, 4])  # L1 set 0 full after 0,2; 4 evicts 0
+    s = h.access_chunk(0, [0])
+    assert s.l2_hits == 1
+    assert s.l3_misses == 0
+
+
+def test_l3_hit_after_private_eviction():
+    h = CacheHierarchy(small_machine(l3_ways=8, l3_sets=8))
+    # push enough lines through L1 set 0 / L2 set 0 to evict line 0 from both
+    h.access_chunk(0, [0, 8, 16, 24, 32])
+    s = h.access_chunk(0, [0])
+    assert s.l3_hits == 1 and s.l3_misses == 0
+
+
+def test_totals_accumulate():
+    h = CacheHierarchy(small_machine())
+    h.access_chunk(0, [1, 2, 3])
+    h.access_chunk(0, [1, 2, 3])
+    t = h.totals[0]
+    assert t.mem_accesses == 6
+    assert t.l3_fetches == 3
+
+
+def test_per_core_isolation_of_private_caches():
+    h = CacheHierarchy(small_machine())
+    h.access_chunk(0, [100])
+    s = h.access_chunk(1, [100])
+    # core 1 misses its private caches but hits the shared L3
+    assert s.l1_hits == 0 and s.l2_hits == 0
+    assert s.l3_hits == 1
+
+
+def test_back_invalidation_on_l3_eviction():
+    """Inclusive L3: evicting a line from L3 removes it from L1/L2 too."""
+    m = small_machine(l3_ways=2, l3_sets=1, l3_policy="lru")
+    h = CacheHierarchy(m)
+    h.access_chunk(0, [10])
+    assert h.l3_resident(10)
+    # fill the single L3 set with other lines until 10 is evicted
+    h.access_chunk(0, [11, 12])
+    assert not h.l3_resident(10)
+    s = h.access_chunk(0, [10])
+    # if back-invalidation worked, the line cannot hit in L1/L2
+    assert s.l1_hits == 0 and s.l2_hits == 0 and s.l3_misses == 1
+
+
+def test_dirty_line_evicted_from_l3_counts_dram_writeback():
+    m = small_machine(l3_ways=2, l3_sets=1, l3_policy="lru")
+    h = CacheHierarchy(m)
+    h.access_chunk(0, [10], [True])  # dirty in L1
+    s = h.access_chunk(0, [11, 12])  # evicts 10 from L3 -> back-invalidate dirty L1 copy
+    assert s.dram_writeback_lines == 1
+
+
+def test_clean_eviction_no_writeback():
+    m = small_machine(l3_ways=2, l3_sets=1, l3_policy="lru")
+    h = CacheHierarchy(m)
+    h.access_chunk(0, [10])
+    s = h.access_chunk(0, [11, 12])
+    assert s.dram_writeback_lines == 0
+
+
+def test_dirty_l1_victim_lands_in_l2():
+    h = CacheHierarchy(small_machine())
+    h.access_chunk(0, [0], [True])
+    h.access_chunk(0, [2, 4])  # evict line 0 from L1 (set 0)
+    s = h.access_chunk(0, [0])
+    assert s.l2_hits == 1  # dirty victim was installed in L2
+
+
+def test_prefetch_counts_fetches_not_misses():
+    m = small_machine(prefetch=True, l3_ways=8, l3_sets=16)
+    h = CacheHierarchy(m)
+    s = h.access_chunk(0, list(range(200, 216)))
+    assert s.prefetch_fills > 0
+    assert s.l3_fetches == s.l3_misses + s.prefetch_fills
+    assert s.l3_misses < s.mem_accesses  # stream mostly covered
+
+
+def test_prefetch_disabled_fetches_equal_misses():
+    h = CacheHierarchy(small_machine(prefetch=False, l3_ways=8, l3_sets=16))
+    s = h.access_chunk(0, list(range(300, 316)))
+    assert s.prefetch_fills == 0
+    assert s.l3_fetches == s.l3_misses
+
+
+def test_fetch_ratio_and_miss_ratio_properties():
+    h = CacheHierarchy(small_machine())
+    s = h.access_chunk(0, [1, 2, 1, 2])
+    assert s.fetch_ratio == pytest.approx(0.5)
+    assert s.miss_ratio == pytest.approx(0.5)
+    assert s.dram_lines == s.l3_fetches + s.dram_writeback_lines
+
+
+def test_numpy_input_accepted():
+    h = CacheHierarchy(small_machine())
+    lines = np.array([1, 2, 3], dtype=np.int64)
+    writes = np.array([True, False, True])
+    s = h.access_chunk(0, lines, writes)
+    assert s.mem_accesses == 3
+
+
+def test_flush_resets_contents():
+    h = CacheHierarchy(small_machine())
+    h.access_chunk(0, [1, 2, 3])
+    h.flush()
+    s = h.access_chunk(0, [1])
+    assert s.l3_misses == 1
+
+
+def test_shared_l3_contention_between_cores():
+    """Two cores with large footprints evict each other's L3 lines."""
+    m = small_machine(l3_ways=2, l3_sets=2, l3_policy="lru")
+    h = CacheHierarchy(m)
+    a = list(range(0, 8))
+    b = list(range(100, 108))
+    h.access_chunk(0, a)
+    h.access_chunk(1, b)  # pushes core 0's lines out of the 4-line L3
+    s = h.access_chunk(0, a)
+    assert s.l3_misses > 0

@@ -1,0 +1,103 @@
+"""Multithreaded-Target extension (§III-C's deferred case)."""
+
+import pytest
+
+from repro.core.multitarget import (
+    choose_pirate_threads_multitarget,
+    make_parallel_target,
+    measure_multithreaded,
+)
+from repro.errors import MeasurementError
+from repro.units import MB
+
+
+def test_parallel_target_shards_are_disjoint():
+    shards = make_parallel_target("povray", 3, seed=1)
+    assert len(shards) == 3
+    streams = [set(wl.chunk(3000)[0].tolist()) for wl in shards]
+    assert streams[0].isdisjoint(streams[1])
+    assert streams[1].isdisjoint(streams[2])
+
+
+def test_parallel_target_validation():
+    with pytest.raises(MeasurementError):
+        make_parallel_target("povray", 0)
+
+
+def test_measure_multithreaded_basic():
+    res = measure_multithreaded(
+        make_parallel_target("povray", 2, seed=1),
+        stolen_bytes=2 * MB,
+        interval_instructions=150_000,
+    )
+    assert res.target_threads == 2
+    assert len(res.per_thread) == 2
+    # aggregate = sum of per-thread counters
+    assert res.aggregate.instructions == pytest.approx(
+        sum(d.instructions for d in res.per_thread)
+    )
+    assert res.aggregate.instructions == pytest.approx(2 * 150_000, rel=0.15)
+    assert res.aggregate_cpi > 0
+    assert res.aggregate_bandwidth_gbps(2.26e9) >= 0
+
+
+def test_measure_multithreaded_core_budget():
+    with pytest.raises(MeasurementError):
+        measure_multithreaded(
+            make_parallel_target("povray", 3, seed=1),
+            0,
+            num_pirate_threads=2,  # 3 + 2 > 4 cores
+        )
+    with pytest.raises(MeasurementError):
+        measure_multithreaded([], 0)
+
+
+def test_multithreaded_capacity_pressure():
+    """Two target threads splitting the leftover cache miss more than one."""
+
+    def fr(threads):
+        res = measure_multithreaded(
+            make_parallel_target("omnetpp", threads, seed=1),
+            stolen_bytes=4 * MB,
+            interval_instructions=500_000,
+            warmup_instructions=1_500_000,  # past the cold transient
+        )
+        return res.aggregate.fetch_ratio
+
+    assert fr(2) > fr(1)
+
+
+def test_probe_multitarget():
+    probe = choose_pirate_threads_multitarget(
+        "povray", 2, probe_instructions=120_000, seed=1
+    )
+    assert probe.pirate_threads in (1, 2)
+    assert set(probe.aggregate_cpi_by_threads) == {1, 2}
+    assert probe.slowdown(2) == pytest.approx(
+        (probe.aggregate_cpi_by_threads[2] - probe.aggregate_cpi_by_threads[1])
+        / probe.aggregate_cpi_by_threads[1]
+    )
+
+
+def test_probe_multitarget_core_limits():
+    with pytest.raises(MeasurementError):
+        choose_pirate_threads_multitarget("povray", 4)
+    with pytest.raises(MeasurementError):
+        choose_pirate_threads_multitarget("povray", 2, max_pirate_threads=3)
+    # 3 target threads leave exactly one pirate core
+    probe = choose_pirate_threads_multitarget(
+        "povray", 3, probe_instructions=80_000
+    )
+    assert probe.pirate_threads == 1
+
+
+def test_aggregate_bandwidth_saturates_probe_sooner():
+    """The paper's warning: bandwidth-hungry multithreaded Targets tolerate a
+    second Pirate thread less than their single-threaded probe suggests."""
+    single = choose_pirate_threads_multitarget(
+        "lbm", 1, probe_instructions=200_000, seed=2
+    )
+    dual = choose_pirate_threads_multitarget(
+        "lbm", 2, probe_instructions=200_000, seed=2
+    )
+    assert dual.slowdown(2) >= single.slowdown(2) - 0.02

@@ -1,0 +1,116 @@
+"""Phase detection over measurement intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.phases import Phase, detect_phases, phase_report
+from repro.core.curves import IntervalSample
+from repro.errors import MeasurementError
+from repro.hardware.counters import CounterSample
+from repro.units import MB
+
+
+def test_stationary_sequence_is_one_phase():
+    rng = np.random.default_rng(0)
+    cpis = 1.5 + rng.normal(0, 0.01, size=40)
+    phases = detect_phases(cpis)
+    assert len(phases) == 1
+    assert phases[0].mean_cpi == pytest.approx(1.5, abs=0.05)
+
+
+def test_single_step_detected():
+    cpis = [1.0] * 20 + [2.0] * 20
+    phases = detect_phases(cpis)
+    assert len(phases) == 2
+    assert phases[0].stop == 20
+    assert phases[0].mean_cpi == pytest.approx(1.0)
+    assert phases[1].mean_cpi == pytest.approx(2.0)
+
+
+def test_three_phases_detected():
+    cpis = [1.0] * 15 + [3.0] * 15 + [1.8] * 15
+    phases = detect_phases(cpis)
+    assert len(phases) == 3
+    means = sorted(p.mean_cpi for p in phases)
+    assert means == pytest.approx([1.0, 1.8, 3.0])
+
+
+def test_phases_partition_the_sequence():
+    cpis = [1.0] * 10 + [2.0] * 10 + [1.0] * 10
+    phases = detect_phases(cpis)
+    assert phases[0].start == 0
+    assert phases[-1].stop == 30
+    for a, b in zip(phases, phases[1:]):
+        assert a.stop == b.start
+
+
+def test_max_phases_bounds_recursion():
+    cpis = [float(i % 2) * 5 + 1 for i in range(64)]  # pathological alternation
+    phases = detect_phases(cpis, max_phases=4)
+    assert len(phases) <= 4
+
+
+def test_empty_rejected():
+    with pytest.raises(MeasurementError):
+        detect_phases([])
+
+
+def test_short_sequences_never_split():
+    assert len(detect_phases([1.0, 9.0, 1.0])) == 1
+
+
+def _sample(mb, cpi, start):
+    return IntervalSample(
+        target_cache_bytes=int(mb * MB),
+        target=CounterSample(cycles=cpi * 1e5, instructions=1e5, mem_accesses=4e4),
+        pirate_fetch_ratio=0.0,
+        valid=True,
+        start_cycle=start,
+    )
+
+
+def test_phase_report_uses_single_size():
+    samples = []
+    t = 0.0
+    # 30 cycles over two sizes; the 2MB series steps its CPI halfway
+    for i in range(30):
+        samples.append(_sample(8.0, 1.0, t)); t += 1e5
+        samples.append(_sample(2.0, 1.2 if i < 15 else 2.4, t)); t += 1e5
+    rep = phase_report("gcc-like", samples, interval_instructions=1e5)
+    assert rep.cache_mb in (2.0, 8.0)
+    assert rep.phased
+    assert rep.cycle_intervals == 2
+    assert "phase report" in rep.format()
+
+
+def test_phase_report_stationary():
+    samples = [_sample(8.0, 1.5, i * 1e5) for i in range(20)]
+    rep = phase_report("steady", samples, interval_instructions=1e5)
+    assert not rep.phased
+    assert rep.cycle_fits_in_phase
+    assert "stationary" in rep.format()
+
+
+def test_phase_report_validation():
+    with pytest.raises(MeasurementError):
+        phase_report("x", [], interval_instructions=1e5)
+
+
+def test_phase_report_on_real_gcc_run():
+    """gcc's 30M-instruction phases must be visible in a dynamic run whose
+    per-size sampling is finer than the phase length."""
+    from repro.core import measure_curve_dynamic
+    from repro.workloads import make_benchmark
+
+    res = measure_curve_dynamic(
+        lambda: make_benchmark("gcc", seed=1),
+        # a 2MB share: gcc's phase-B footprint (2.8MB) no longer fits, so
+        # the phases differ in CPI (at 8MB every phase fits and they don't)
+        [2.0],
+        total_instructions=50e6,
+        interval_instructions=2e6,
+        compute_baseline=False,
+        seed=2,
+    )
+    rep = phase_report("gcc", res.samples, interval_instructions=2e6)
+    assert rep.phased  # the three-phase structure shows up

@@ -1,0 +1,73 @@
+"""ASCII plotting."""
+
+import pytest
+
+from repro.analysis.plot import ascii_plot, plot_performance_curve, plot_pirate_vs_reference
+from repro.core.curves import CurvePoint, PerformanceCurve
+from repro.errors import ReproError
+from repro.units import MB
+
+
+def curve():
+    return PerformanceCurve("bench", [
+        CurvePoint(MB // 2, 3.0, 2.0, 0.10, 0.05, 0.0, True, 1),
+        CurvePoint(2 * MB, 2.0, 1.5, 0.06, 0.03, 0.0, True, 1),
+        CurvePoint(8 * MB, 1.0, 1.0, 0.02, 0.01, 0.0, True, 1),
+    ])
+
+
+def test_basic_plot_geometry():
+    text = ascii_plot([0, 1, 2], {"y": [0.0, 1.0, 2.0]}, width=40, height=10)
+    lines = text.splitlines()
+    assert any("*" in ln for ln in lines)
+    # axis labels present
+    assert "2" in lines[1]  # top y label row
+    assert lines[-2].strip().startswith("+")
+    # rising series: marker appears top-right and bottom-left
+    grid = [ln.split("|", 1)[1] for ln in lines if "|" in ln]
+    assert "*" in grid[0][-10:]
+    assert "*" in grid[-1][:10]
+
+
+def test_multiple_series_distinct_markers():
+    text = ascii_plot([0, 1], {"a": [0, 1], "b": [1, 0]})
+    assert "*=a" in text and "o=b" in text
+    assert "o" in text
+
+
+def test_flat_series_does_not_crash():
+    text = ascii_plot([0, 1, 2], {"y": [1.0, 1.0, 1.0]})
+    assert "*" in text
+
+
+def test_validation():
+    with pytest.raises(ReproError):
+        ascii_plot([1], {"y": [1]})
+    with pytest.raises(ReproError):
+        ascii_plot([1, 2], {})
+    with pytest.raises(ReproError):
+        ascii_plot([1, 2], {"y": [1, 2, 3]})
+
+
+def test_plot_performance_curve():
+    text = plot_performance_curve(curve(), "cpi")
+    assert "bench: cpi vs cache size" in text
+    assert "cache MB" in text
+
+
+def test_plot_pirate_vs_reference():
+    from repro.reference.cachesim import ReferencePoint
+    from repro.reference.sweep import ReferenceCurve
+
+    ref = ReferenceCurve("bench", "nru", "ways", [
+        ReferencePoint("bench", MB // 2, 1, 0.09, 0.09, 0, 0, 1.0, "nru"),
+        ReferencePoint("bench", 8 * MB, 16, 0.02, 0.02, 0, 0, 1.0, "nru"),
+    ])
+    text = plot_pirate_vs_reference(curve(), ref)
+    assert "pirate" in text and "reference" in text
+    assert "o" in text and "*" in text
+
+
+def test_unsorted_x_handled():
+    text = ascii_plot([2, 0, 1], {"y": [2.0, 0.0, 1.0]})
+    assert "*" in text

@@ -1,0 +1,98 @@
+"""Stream prefetcher behaviour."""
+
+import pytest
+
+from repro.caches.prefetch import StreamPrefetcher
+
+
+def test_no_prefetch_before_trigger():
+    pf = StreamPrefetcher(trigger=2, degree=4)
+    assert pf.observe(100) == []
+    # second access in the stream reaches the trigger and prefetches ahead
+    out = pf.observe(101)
+    assert out == [102, 103, 104, 105]
+
+
+def test_frontier_advances_without_reissuing():
+    pf = StreamPrefetcher(trigger=2, degree=4)
+    pf.observe(100)
+    assert pf.observe(101) == [102, 103, 104, 105]
+    # next stream access only tops the frontier up by one line
+    assert pf.observe(102) == [106]
+    assert pf.observe(103) == [107]
+    assert pf.issued == 6
+
+
+def test_random_accesses_never_prefetch():
+    pf = StreamPrefetcher(trigger=2, degree=4, table_size=8)
+    issued = []
+    for line in [5, 900, 17, 4411, 23, 77, 1003, 64]:
+        issued += pf.observe(line)
+    assert issued == []
+
+
+def test_two_interleaved_streams():
+    pf = StreamPrefetcher(trigger=2, degree=2, table_size=8)
+    a = pf.observe(10)
+    b = pf.observe(1000)
+    assert a == [] and b == []
+    assert pf.observe(11) == [12, 13]
+    assert pf.observe(1001) == [1002, 1003]
+    assert pf.observe(12) == [14]
+    assert pf.observe(1002) == [1004]
+
+
+def test_stream_table_eviction_fifo():
+    pf = StreamPrefetcher(trigger=2, degree=2, table_size=2)
+    pf.observe(10)  # stream A
+    pf.observe(20)  # stream B
+    pf.observe(30)  # stream C: table full, FIFO evicts A
+    assert pf.observe(11) == []  # A was forgotten, so no trigger fires
+    # the surviving stream C still works
+    assert pf.observe(31) == [32, 33]
+    assert pf.streams_started == 4  # A, B, C and the re-allocated 11-stream
+
+
+def test_descending_stream_not_detected():
+    pf = StreamPrefetcher(trigger=2, degree=4)
+    out = []
+    for line in range(100, 80, -1):
+        out += pf.observe(line)
+    assert out == []
+
+
+def test_trigger_three():
+    pf = StreamPrefetcher(trigger=3, degree=2)
+    assert pf.observe(50) == []
+    assert pf.observe(51) == []
+    assert pf.observe(52) == [53, 54]
+
+
+def test_reset_forgets_streams():
+    pf = StreamPrefetcher(trigger=2, degree=2)
+    pf.observe(10)
+    pf.reset()
+    assert pf.observe(11) == []  # would have triggered without the reset
+    assert pf.observe(12) == [13, 14]
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        StreamPrefetcher(trigger=0)
+    with pytest.raises(ValueError):
+        StreamPrefetcher(degree=0)
+    with pytest.raises(ValueError):
+        StreamPrefetcher(table_size=0)
+
+
+def test_long_stream_coverage_ratio():
+    """On an N-line stream with trigger=2 the prefetcher covers all but the
+    first `trigger` lines — the mechanism behind fetch/miss gaps like lbm's."""
+    pf = StreamPrefetcher(trigger=2, degree=8)
+    prefetched = set()
+    demand_not_covered = 0
+    for line in range(1000, 1128):
+        if line not in prefetched:
+            demand_not_covered += 1
+        prefetched.update(pf.observe(line))
+    assert demand_not_covered == 2

@@ -1,0 +1,221 @@
+"""Cross-module property-based tests on the library's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.caches.setassoc import LRUCache, NRUCache, PLRUCache
+from repro.config import CacheConfig, MachineConfig, tiny_config
+from repro.hardware.counters import CounterSample
+
+
+def tiny_hierarchy(l3_ways=4, l3_sets=4, cores=2, private_data=True):
+    from dataclasses import replace
+
+    cfg = MachineConfig(
+        num_cores=cores,
+        l1=CacheConfig("L1", 2 * 64 * 2, 2, policy="plru"),
+        l2=CacheConfig("L2", 4 * 64 * 2, 2, policy="plru"),
+        l3=CacheConfig("L3", l3_sets * 64 * l3_ways, l3_ways, policy="lru",
+                       inclusive=True, shared=True),
+        prefetch_enabled=False,
+        private_data=private_data,
+    )
+    return CacheHierarchy(cfg)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1),   # core
+            st.integers(min_value=0, max_value=40),  # line (disjoint per core)
+            st.booleans(),                           # write
+        ),
+        min_size=1,
+        max_size=300,
+    )
+)
+def test_inclusion_invariant_private_data(ops):
+    """Inclusive L3: every line in any L1/L2 is also in the L3."""
+    h = tiny_hierarchy()
+    for core, line, write in ops:
+        # disjoint address spaces per core (the library's workload contract)
+        addr = line + core * 10_000
+        h.access_chunk(core, [addr], [write])
+    l3_lines = h.l3.resident_lines()
+    for caches in (h.l1, h.l2):
+        for cache in caches:
+            assert cache.resident_lines() <= l3_lines
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1),
+            st.integers(min_value=0, max_value=30),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_inclusion_invariant_shared_lines_strict_mode(ops):
+    """With private_data=False, inclusion must hold even when cores share
+    lines (all-core back-invalidation)."""
+    h = tiny_hierarchy(private_data=False)
+    for core, line, write in ops:
+        h.access_chunk(core, [line], [write])  # cores share the line space
+    l3_lines = h.l3.resident_lines()
+    for caches in (h.l1, h.l2):
+        for cache in caches:
+            assert cache.resident_lines() <= l3_lines
+
+
+@settings(max_examples=30, deadline=None)
+@given(lines=st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=400))
+def test_occupancy_never_exceeds_capacity(lines):
+    h = tiny_hierarchy()
+    h.access_chunk(0, lines)
+    assert h.l3.occupancy() <= h.l3.num_sets * h.l3.ways
+    for cache in (*h.l1, *h.l2):
+        assert cache.occupancy() <= cache.num_sets * cache.ways
+
+
+@settings(max_examples=30, deadline=None)
+@given(lines=st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=400))
+def test_stats_accounting_identities(lines):
+    """hits + misses == accesses; fetches == misses with prefetch off."""
+    h = tiny_hierarchy()
+    stats = h.access_chunk(0, lines)
+    assert stats.l1_hits + stats.l2_hits + stats.l3_hits + stats.l3_misses == len(lines)
+    assert stats.l3_fetches == stats.l3_misses
+    for cache in (*h.l1, *h.l2, h.l3):
+        s = cache.stats
+        assert s.hits + s.misses == s.accesses
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    refs=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=300),
+    policy=st.sampled_from([LRUCache, NRUCache, PLRUCache]),
+)
+def test_replay_determinism_across_policies(refs, policy):
+    """Two identical caches fed the same trace end in identical states."""
+    cfg = CacheConfig("T", 4 * 64 * 4, 4, policy="lru")
+    a, b = policy(cfg), policy(cfg)
+    for line in refs:
+        sa, ta = a.split(line)
+        ra = a.access(sa, ta)
+        rb = b.access(sa, ta)
+        assert ra.hit == rb.hit and ra.victim_tag == rb.victim_tag
+    assert a.resident_lines() == b.resident_lines()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.builds(
+        CounterSample,
+        cycles=st.floats(0, 1e9, allow_nan=False),
+        instructions=st.floats(0, 1e9, allow_nan=False),
+        l3_fetches=st.integers(0, 10**6),
+        mem_accesses=st.floats(0, 1e9, allow_nan=False),
+    ),
+    b=st.builds(
+        CounterSample,
+        cycles=st.floats(0, 1e9, allow_nan=False),
+        instructions=st.floats(0, 1e9, allow_nan=False),
+        l3_fetches=st.integers(0, 10**6),
+        mem_accesses=st.floats(0, 1e9, allow_nan=False),
+    ),
+)
+def test_counter_delta_algebra(a, b):
+    """delta is the inverse of accumulation: (a+b) - a == b, fieldwise."""
+    from dataclasses import fields
+
+    summed = CounterSample()
+    for f in fields(CounterSample):
+        setattr(summed, f.name, getattr(a, f.name) + getattr(b, f.name))
+    d = summed.delta(a)
+    for f in fields(CounterSample):
+        assert getattr(d, f.name) == pytest.approx(getattr(b, f.name), rel=1e-9, abs=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_lines=st.integers(min_value=1, max_value=2000),
+    chunks=st.integers(min_value=1, max_value=7),
+)
+def test_pattern_chunking_is_stream_invariant(n_lines, chunks):
+    """Deterministic patterns: splitting chunk() calls differently must not
+    change the stream.  (Stochastic mixtures only guarantee determinism for
+    a *fixed* chunk schedule — the next test — because their vectorized
+    component draws consume RNG state per call.)"""
+    from repro.workloads.patterns import PointerChasePattern, SequentialPattern
+
+    for cls, kwargs in (
+        (SequentialPattern, {"segment_lines": 16}),
+        (PointerChasePattern, {}),
+    ):
+        one = cls(0, 100, seed=9, **kwargs)
+        many = cls(0, 100, seed=9, **kwargs)
+        whole = one.lines(n_lines)
+        pieces = []
+        base = max(n_lines // chunks, 1)
+        left = n_lines
+        while left > 0:
+            take = min(base, left)
+            pieces.append(many.lines(take))
+            left -= take
+        assert np.array_equal(whole, np.concatenate(pieces)), cls.__name__
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    takes=st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=8),
+)
+def test_mixture_deterministic_for_fixed_chunk_schedule(takes):
+    """Same seed + same chunk sequence -> identical streams."""
+    from repro.workloads import make_benchmark
+
+    a = make_benchmark("omnetpp", seed=9)
+    b = make_benchmark("omnetpp", seed=9)
+    for take in takes:
+        la, _ = a.chunk(take)
+        lb, _ = b.chunk(take)
+        assert np.array_equal(la, lb)
+
+
+@settings(max_examples=15, deadline=None)
+@given(stolen_ways=st.integers(min_value=1, max_value=3))
+def test_pirate_reduces_effective_associativity(stolen_ways):
+    """A pirate pinning k ways leaves a (W-k)-way cache: a cyclic target
+    working set of exactly W-k lines per set always hits, W-k+1 thrashes."""
+    ways = 4
+    cfg = CacheConfig("T", 8 * 64 * ways, ways, policy="lru")
+    cache = LRUCache(cfg)
+    pirate_tags = [(1 << 30) + i for i in range(stolen_ways)]
+    fit = ways - stolen_ways
+
+    def run(n_target_tags):
+        hits = misses = 0
+        for lap in range(6):
+            for t in range(n_target_tags):
+                for p in pirate_tags:
+                    cache.access(0, p)
+                r = cache.access(0, t)
+                if lap >= 2:  # skip warm-up laps
+                    if r.hit:
+                        hits += 1
+                    else:
+                        misses += 1
+        return hits, misses
+
+    hits, misses = run(fit)
+    assert misses == 0
+    cache.flush()
+    hits2, misses2 = run(fit + 1)
+    assert misses2 > 0

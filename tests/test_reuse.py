@@ -1,0 +1,153 @@
+"""Reuse-distance analysis: exact distances, miss-ratio model, cross-checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.reuse import COLD, reuse_distances, reuse_profile
+from repro.errors import TraceError
+from repro.tracing import AddressTrace
+from repro.units import MB
+from repro.workloads.micro import random_micro, sequential_micro
+
+
+def trace_of(lines, apl=1.0, name="t"):
+    return AddressTrace(name, np.asarray(lines), accesses_per_line=apl)
+
+
+# ---------------------------------------------------------------- distances
+
+
+def test_first_touches_are_cold():
+    d = reuse_distances(np.array([1, 2, 3]))
+    assert d.tolist() == [COLD, COLD, COLD]
+
+
+def test_immediate_reuse_distance_zero():
+    d = reuse_distances(np.array([5, 5]))
+    assert d.tolist() == [COLD, 0]
+
+
+def test_classic_example():
+    # a b c b a: b reused over {c} -> 1; a reused over {b, c} -> 2
+    d = reuse_distances(np.array([1, 2, 3, 2, 1]))
+    assert d.tolist() == [COLD, COLD, COLD, 1, 2]
+
+
+def test_duplicates_counted_once():
+    # a b b b a: distance of the final a is 1 (only b intervened)
+    d = reuse_distances(np.array([1, 2, 2, 2, 1]))
+    assert d[-1] == 1
+
+
+def test_cyclic_sweep_distance_equals_region_minus_one():
+    region = 17
+    lines = np.tile(np.arange(region), 4)
+    d = reuse_distances(lines)
+    warm = d[region:]
+    assert np.all(warm == region - 1)
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(TraceError):
+        reuse_distances(np.array([], dtype=np.int64))
+
+
+@settings(max_examples=40, deadline=None)
+@given(lines=st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=200))
+def test_distances_match_naive_stack_simulation(lines):
+    """Cross-check the Fenwick algorithm against a literal LRU stack."""
+    arr = np.asarray(lines, dtype=np.int64)
+    fast = reuse_distances(arr)
+    stack: list[int] = []
+    slow = []
+    for line in lines:
+        if line in stack:
+            idx = stack.index(line)
+            slow.append(idx)
+            stack.pop(idx)
+        else:
+            slow.append(COLD)
+        stack.insert(0, line)
+    assert fast.tolist() == slow
+
+
+# ---------------------------------------------------------------- profile
+
+
+def test_profile_accounting():
+    prof = reuse_profile(trace_of([1, 2, 1, 2, 3]))
+    assert prof.cold_accesses == 3
+    assert prof.total_accesses == 5
+    assert prof.distances.size == 2
+    assert prof.cold_fraction == pytest.approx(0.6)
+
+
+def test_miss_ratio_tail_semantics():
+    # distances: [1, 1] over 4 total accesses, 2 cold
+    prof = reuse_profile(trace_of([1, 2, 1, 2]))
+    # capacity 2 lines: distances 1 < 2 -> warm hits; only cold miss
+    assert prof.miss_ratio_at_lines(2, include_cold=False) == 0.0
+    assert prof.miss_ratio_at_lines(2, include_cold=True) == pytest.approx(0.5)
+    # capacity 1 line: distance-1 reuses miss
+    assert prof.miss_ratio_at_lines(1, include_cold=False) == pytest.approx(0.5)
+    with pytest.raises(TraceError):
+        prof.miss_ratio_at_lines(-1)
+
+
+def test_miss_ratio_scaled_by_accesses_per_line():
+    a = reuse_profile(trace_of([1, 2, 1, 2], apl=1.0))
+    b = reuse_profile(trace_of([1, 2, 1, 2], apl=4.0))
+    assert b.miss_ratio_at_lines(1) == pytest.approx(a.miss_ratio_at_lines(1) / 4.0)
+
+
+def test_miss_ratio_curve_monotone_nonincreasing():
+    wl = random_micro(1.0, seed=3)
+    lines, _ = wl.chunk(40_000)
+    prof = reuse_profile(trace_of(lines))
+    curve = prof.miss_ratio_curve([0.25, 0.5, 1.0, 2.0])
+    ratios = [mr for _, mr in curve]
+    assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+
+def test_working_set_estimate_matches_construction():
+    """A 1MB random working set must be estimated near 1MB."""
+    wl = random_micro(1.0, seed=4)
+    lines, _ = wl.chunk(120_000)
+    prof = reuse_profile(trace_of(lines))
+    ws = prof.working_set_mb(miss_threshold=0.02)
+    assert 0.7 <= ws <= 1.05
+
+
+def test_sequential_working_set():
+    wl = sequential_micro(2.0, seed=5)
+    lines, _ = wl.chunk(150_000)
+    prof = reuse_profile(trace_of(lines))
+    # cyclic sweep: every warm distance is exactly the region size - 1
+    assert prof.working_set_mb(miss_threshold=0.01) == pytest.approx(2.0, rel=0.01)
+
+
+def test_model_matches_simulator_for_random_trace():
+    """Fully-associative LRU model vs the 16-way LRU simulator: random
+    traces have negligible associativity effects, so the predicted and
+    simulated miss ratios agree."""
+    from repro.reference import reference_curve
+
+    wl = random_micro(3.0, seed=6)
+    lines, _ = wl.chunk(250_000)
+    trace = trace_of(lines, name="rand3")
+    # both sides exclude the same start-up window
+    prof = reuse_profile(trace, skip_fraction=0.5)
+    sim = reference_curve(trace, [1.0, 2.0, 4.0], policy="lru", warmup_fraction=0.5)
+    for size, predicted in prof.miss_ratio_curve(
+        [1.0, 2.0, 4.0], include_cold=True
+    ):
+        simulated = sim.fetch_ratio_at(size)
+        assert predicted == pytest.approx(simulated, abs=0.05)
+
+
+def test_format_table():
+    prof = reuse_profile(trace_of([1, 2, 1, 2]))
+    text = prof.format_table([0.5, 8.0])
+    assert "reuse-distance model" in text and "8.0" in text

@@ -1,0 +1,356 @@
+"""Set-associative cache and replacement-policy semantics.
+
+Includes the paper's Fig. 3 property: an LRU cache of A ways co-run with a
+Pirate stealing k ways behaves, for the Target, exactly like an (A-k)-way LRU
+cache.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.caches.setassoc import (
+    LRUCache,
+    NRUCache,
+    PLRUCache,
+    RandomCache,
+    make_cache,
+)
+
+
+def cfg(ways=4, sets=4, policy="lru"):
+    return CacheConfig("T", sets * ways * 64, ways, policy=policy)
+
+
+# ---------------------------------------------------------------- basics
+
+
+def test_split_join_roundtrip():
+    c = LRUCache(cfg(ways=4, sets=8))
+    for line in (0, 1, 7, 8, 12345, 2**30 + 5):
+        s, t = c.split(line)
+        assert 0 <= s < 8
+        assert c.join(s, t) == line
+
+
+def test_miss_then_hit():
+    c = LRUCache(cfg())
+    r = c.access(0, 10)
+    assert not r.hit and r.victim_tag is None
+    r = c.access(0, 10)
+    assert r.hit
+    assert c.stats.accesses == 2
+    assert c.stats.hits == 1 and c.stats.misses == 1
+
+
+def test_fill_prefers_invalid_ways():
+    c = LRUCache(cfg(ways=4))
+    for tag in range(4):
+        r = c.access(0, tag)
+        assert r.victim_tag is None  # no evictions while ways are free
+    r = c.access(0, 99)
+    assert r.victim_tag == 0  # LRU way evicted once the set is full
+    assert c.stats.evictions == 1
+
+
+def test_dirty_victim_reported():
+    c = LRUCache(cfg(ways=2))
+    c.access(0, 1, is_write=True)
+    c.access(0, 2)
+    r = c.access(0, 3)
+    assert r.victim_tag == 1 and r.victim_dirty
+    assert c.stats.writebacks == 1
+
+
+def test_write_hit_sets_dirty():
+    c = LRUCache(cfg(ways=2))
+    c.access(0, 1)
+    c.access(0, 1, is_write=True)
+    c.access(0, 2)
+    r = c.access(0, 3)
+    assert r.victim_tag == 1 and r.victim_dirty
+
+
+def test_fill_does_not_count_demand_access():
+    c = LRUCache(cfg())
+    c.fill(0, 5)
+    assert c.stats.accesses == 0
+    assert c.stats.fills == 1
+    assert c.access(0, 5).hit
+
+
+def test_invalidate():
+    c = LRUCache(cfg())
+    c.access(0, 5, is_write=True)
+    present, dirty = c.invalidate(0, 5)
+    assert present and dirty
+    assert not c.access(0, 5).hit  # gone
+    assert c.invalidate(0, 99) == (False, False)
+    assert c.stats.invalidations == 1
+
+
+def test_mark_dirty():
+    c = LRUCache(cfg(ways=2))
+    c.access(0, 1)
+    assert c.mark_dirty(0, 1)
+    assert not c.mark_dirty(0, 42)
+    c.access(0, 2)
+    r = c.access(0, 3)
+    assert r.victim_dirty
+
+
+def test_occupancy_and_resident_lines():
+    c = LRUCache(cfg(ways=2, sets=4))
+    # sets for 4-set mapping: 0,1,2,1,0 — every set stays within 2 ways
+    lines = [0, 1, 2, 5, 4]
+    for ln in lines:
+        s, t = c.split(ln)
+        c.access(s, t)
+    assert c.occupancy() == 5
+    assert c.resident_lines() == set(lines)
+
+
+def test_flush():
+    c = LRUCache(cfg())
+    c.access(0, 1, is_write=True)
+    c.flush()
+    assert c.occupancy() == 0
+    assert not c.access(0, 1).hit
+
+
+# ---------------------------------------------------------------- LRU
+
+
+def test_lru_eviction_order_is_stack_like():
+    c = LRUCache(cfg(ways=3, sets=1))
+    for tag in (1, 2, 3):
+        c.access(0, tag)
+    c.access(0, 1)  # 1 becomes MRU; LRU order now 2,3,1
+    r = c.access(0, 4)
+    assert r.victim_tag == 2
+    r = c.access(0, 5)
+    assert r.victim_tag == 3
+
+
+def test_lru_recency_order_view():
+    c = LRUCache(cfg(ways=3, sets=1))
+    for tag in (7, 8, 9):
+        c.access(0, tag)
+    c.access(0, 7)
+    assert c.recency_order(0) == [8, 9, 7]
+
+
+def test_fig3_way_stealing_equivalence():
+    """Fig. 3: a 4-way LRU cache with the Pirate pinning one way behaves as a
+    3-way cache for the Target — identical hit/miss sequence and victims."""
+    small = LRUCache(cfg(ways=3, sets=1))
+    big = LRUCache(cfg(ways=4, sets=1))
+    pirate_tag = 1 << 40
+
+    target_refs = [1, 2, 3, 1, 4, 2, 5, 1, 3, 4, 2, 2, 6, 1, 5, 3]
+    for tag in target_refs:
+        r_small = small.access(0, tag)
+        big.access(0, pirate_tag)  # pirate touches its line at a high rate
+        r_big = big.access(0, tag)
+        assert r_small.hit == r_big.hit
+        assert r_small.victim_tag == r_big.victim_tag
+    # the pirate never lost its line
+    assert big.probe(0, pirate_tag) >= 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    refs=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=200),
+    stolen=st.integers(min_value=1, max_value=3),
+)
+def test_fig3_way_stealing_equivalence_property(refs, stolen):
+    """Property version across random traces and 1-3 stolen ways."""
+    total_ways = 4
+    small = LRUCache(cfg(ways=total_ways - stolen, sets=1))
+    big = LRUCache(cfg(ways=total_ways, sets=1))
+    pirate_tags = [(1 << 40) + i for i in range(stolen)]
+    for tag in refs:
+        r_small = small.access(0, tag)
+        for ptag in pirate_tags:
+            big.access(0, ptag)
+        r_big = big.access(0, tag)
+        assert r_small.hit == r_big.hit
+    for ptag in pirate_tags:
+        assert big.probe(0, ptag) >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(refs=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=300))
+def test_lru_stack_inclusion_property(refs):
+    """A bigger LRU cache never misses where a smaller one hits (inclusion)."""
+    small = LRUCache(cfg(ways=2, sets=1))
+    big = LRUCache(cfg(ways=6, sets=1))
+    for tag in refs:
+        hit_small = small.access(0, tag).hit
+        hit_big = big.access(0, tag).hit
+        assert not (hit_small and not hit_big)
+
+
+# ---------------------------------------------------------------- NRU (Nehalem)
+
+
+def test_nru_sets_accessed_bit():
+    c = NRUCache(cfg(ways=4, policy="nru"))
+    c.access(0, 1)
+    assert c.accessed_bits(0) == 0b0001
+    c.access(0, 2)
+    assert c.accessed_bits(0) == 0b0011
+
+
+def test_nru_clears_other_bits_when_all_would_be_set():
+    """§II-B2: when the last unaccessed line is touched, every other accessed
+    bit is cleared, leaving only the just-touched line marked."""
+    c = NRUCache(cfg(ways=4, policy="nru"))
+    for tag in (1, 2, 3):
+        c.access(0, tag)
+    assert c.accessed_bits(0) == 0b0111
+    c.access(0, 4)  # fills way 3, would set all bits
+    assert c.accessed_bits(0) == 0b1000
+
+
+def test_nru_evicts_first_unset_accessed_bit():
+    c = NRUCache(cfg(ways=4, policy="nru"))
+    for tag in (1, 2, 3, 4):
+        c.access(0, tag)
+    # bits now 0b1000: ways 0..2 unmarked, so way 0 (tag 1) is the victim
+    r = c.access(0, 5)
+    assert r.victim_tag == 1
+    # way 0 was refilled with tag 5 and marked (bits 0b1001); marking way 1
+    # leaves way 2 (tag 3) as the first unmarked way
+    c.access(0, 2)
+    r = c.access(0, 6)
+    assert r.victim_tag == 3
+
+
+def test_nru_eviction_scan_order_detailed():
+    c = NRUCache(cfg(ways=4, policy="nru"))
+    for tag in (1, 2, 3, 4):
+        c.access(0, tag)  # tags in ways 0..3, bits 0b1000
+    c.access(0, 1)  # mark way 0 -> 0b1001
+    c.access(0, 2)  # mark way 1 -> 0b1011
+    r = c.access(0, 9)  # first unset bit is way 2 (tag 3)
+    assert r.victim_tag == 3
+
+
+def test_nru_protects_frequently_touched_lines():
+    """A pirate-like line touched between every target access is never evicted."""
+    c = NRUCache(cfg(ways=4, sets=1, policy="nru"))
+    pirate = 1 << 40
+    c.access(0, pirate)
+    for tag in range(100):
+        c.access(0, pirate)
+        c.access(0, tag)
+    assert c.probe(0, pirate) >= 0
+
+
+def test_nru_single_way():
+    c = NRUCache(CacheConfig("T", 64, 1, policy="nru"))
+    c.access(0, 1)
+    r = c.access(0, 2)
+    assert not r.hit and r.victim_tag == 1
+
+
+def test_nru_invalidate_clears_bit():
+    c = NRUCache(cfg(ways=4, policy="nru"))
+    c.access(0, 1)
+    c.invalidate(0, 1)
+    assert c.accessed_bits(0) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(refs=st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=300))
+def test_nru_invariant_never_all_bits_set(refs):
+    c = NRUCache(cfg(ways=4, sets=2, policy="nru"))
+    for line in refs:
+        s, t = c.split(line)
+        c.access(s, t)
+        for set_idx in range(c.num_sets):
+            assert c.accessed_bits(set_idx) != (1 << c.ways) - 1
+
+
+# ---------------------------------------------------------------- PLRU
+
+
+def test_plru_requires_pow2_ways():
+    from repro.errors import SimulationError
+
+    # CacheConfig(ways=3) itself is legal (sets stay pow2), PLRU must reject it
+    with pytest.raises(SimulationError):
+        PLRUCache(CacheConfig("T", 3 * 64 * 4, 3, policy="plru"))
+
+
+def test_plru_victim_is_not_most_recent():
+    c = PLRUCache(cfg(ways=4, sets=1, policy="plru"))
+    for tag in (1, 2, 3, 4):
+        c.access(0, tag)
+    c.access(0, 4)  # MRU
+    r = c.access(0, 5)
+    assert r.victim_tag != 4
+
+
+def test_plru_tracks_lru_exactly_for_two_ways():
+    """For 2 ways tree-PLRU degenerates to true LRU."""
+    plru = PLRUCache(cfg(ways=2, sets=1, policy="plru"))
+    lru = LRUCache(cfg(ways=2, sets=1, policy="lru"))
+    import random
+
+    rnd = random.Random(3)
+    for _ in range(500):
+        tag = rnd.randrange(5)
+        r1 = plru.access(0, tag)
+        r2 = lru.access(0, tag)
+        assert r1.hit == r2.hit and r1.victim_tag == r2.victim_tag
+
+
+@settings(max_examples=30, deadline=None)
+@given(refs=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200))
+def test_plru_hit_rate_close_to_lru(refs):
+    """PLRU approximates LRU: with a working set <= ways both hit always."""
+    small_refs = [r % 4 for r in refs]
+    c = PLRUCache(cfg(ways=8, sets=1, policy="plru"))
+    warm = set()
+    for tag in small_refs:
+        r = c.access(0, tag)
+        if tag in warm:
+            assert r.hit
+        warm.add(tag)
+
+
+# ---------------------------------------------------------------- random & factory
+
+
+def test_random_policy_deterministic_with_seed():
+    def run(seed):
+        c = RandomCache(cfg(ways=4, sets=1, policy="random"), seed=seed)
+        victims = []
+        for tag in range(20):
+            r = c.access(0, tag)
+            victims.append(r.victim_tag)
+        return victims
+
+    assert run(1) == run(1)
+    assert run(1) != run(2)
+
+
+def test_make_cache_dispatch():
+    assert isinstance(make_cache(cfg(policy="lru")), LRUCache)
+    assert isinstance(make_cache(cfg(policy="nru")), NRUCache)
+    assert isinstance(make_cache(cfg(policy="plru")), PLRUCache)
+    assert isinstance(make_cache(cfg(policy="random")), RandomCache)
+
+
+def test_stats_snapshot_delta():
+    c = LRUCache(cfg())
+    c.access(0, 1)
+    snap = c.stats.snapshot()
+    c.access(0, 1)
+    c.access(0, 2)
+    d = c.stats.delta(snap)
+    assert d.accesses == 2 and d.hits == 1 and d.misses == 1
+    assert c.stats.miss_ratio == pytest.approx(2 / 3)

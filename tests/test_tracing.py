@@ -1,0 +1,124 @@
+"""Trace container, tracer (Pin stand-in) and profiler (Gprof stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.tracing import AddressTrace, capture_trace, profile_workload
+from repro.workloads import make_benchmark
+from repro.workloads.micro import sequential_micro
+
+
+# ------------------------------------------------------------------ trace
+
+
+def make_trace(n=100, benchmark="t"):
+    return AddressTrace(benchmark=benchmark, lines=np.arange(n), start_marker=0,
+                        stop_marker=n * 2)
+
+
+def test_trace_validation():
+    with pytest.raises(TraceError):
+        AddressTrace("t", np.array([]))
+    with pytest.raises(TraceError):
+        AddressTrace("t", np.arange(10), writes=np.zeros(5, dtype=bool))
+
+
+def test_trace_len_and_accesses():
+    t = AddressTrace("t", np.arange(10), accesses_per_line=4.0)
+    assert len(t) == 10
+    assert t.mem_accesses == 40.0
+
+
+def test_trace_footprint():
+    t = AddressTrace("t", np.array([1, 2, 2, 3, 1]))
+    assert t.footprint_lines() == 3
+
+
+def test_trace_slice():
+    t = make_trace(100)
+    s = t.slice(10, 20)
+    assert len(s) == 10
+    assert s.lines[0] == 10
+    with pytest.raises(TraceError):
+        t.slice(50, 20)
+
+
+def test_trace_concat():
+    a = make_trace(10)
+    b = make_trace(5)
+    c = a.concat(b)
+    assert len(c) == 15
+    with pytest.raises(TraceError):
+        a.concat(make_trace(5, benchmark="other"))
+
+
+# ------------------------------------------------------------------ tracer
+
+
+def test_capture_trace_window():
+    wl = sequential_micro(1.0, seed=1)
+    # mem_fraction 0.5, apl 1 -> 0.5 lines/instr
+    trace = capture_trace(wl, start_marker=1000, stop_marker=3000)
+    assert len(trace) == 1000
+    assert trace.start_marker == 1000
+    assert trace.accesses_per_line == wl.accesses_per_line
+
+
+def test_capture_trace_fast_forward_discards():
+    """The trace must start after the skipped window, not at the beginning."""
+    a = capture_trace(sequential_micro(1.0, seed=1), 0, 1000)
+    b = capture_trace(sequential_micro(1.0, seed=1), 1000, 2000)
+    assert b.lines[0] == a.lines[-1] + 1
+
+
+def test_capture_trace_marker_validation():
+    wl = sequential_micro(1.0)
+    with pytest.raises(TraceError):
+        capture_trace(wl, 100, 100)
+    with pytest.raises(TraceError):
+        capture_trace(wl, -5, 100)
+    with pytest.raises(TraceError):
+        capture_trace(wl, 0, 1)  # window too small for one line
+
+
+def test_capture_trace_keeps_writes():
+    wl = make_benchmark("omnetpp", seed=1)
+    trace = capture_trace(wl, 0, 100_000)
+    assert trace.writes is not None
+    assert 0.1 < trace.writes.mean() < 0.5
+
+
+# ------------------------------------------------------------------ profiler
+
+
+def test_profile_plain_workload_single_entry():
+    prof = profile_workload(lambda: sequential_micro(1.0, seed=1), 100_000)
+    assert len(prof.entries) == 1
+    hot = prof.hottest()
+    assert hot.instructions == pytest.approx(100_000, rel=0.05)
+    assert prof.fraction(hot.name) == pytest.approx(1.0)
+
+
+def test_profile_phased_workload_finds_phases():
+    prof = profile_workload(lambda: make_benchmark("gcc", seed=1), 2_000_000)
+    # gcc cycles through 3 phases of 30M instructions; 2M only sees phase 0
+    assert len(prof.entries) >= 1
+    hot = prof.hottest()
+    assert hot.cycles > 0
+    assert hot.start_marker < hot.stop_marker
+
+
+def test_profile_fraction_unknown_unit():
+    prof = profile_workload(lambda: sequential_micro(1.0, seed=1), 50_000)
+    with pytest.raises(TraceError):
+        prof.fraction("nope")
+
+
+def test_profile_markers_usable_by_tracer():
+    prof = profile_workload(lambda: sequential_micro(1.0, seed=1), 80_000)
+    hot = prof.hottest()
+    trace = capture_trace(
+        sequential_micro(1.0, seed=1), hot.start_marker, hot.stop_marker
+    )
+    assert len(trace) > 0

@@ -1,0 +1,84 @@
+"""Unit conversions and size helpers."""
+
+import pytest
+
+from repro.units import (
+    GB,
+    KB,
+    LINE_SIZE,
+    MB,
+    bytes_per_cycle,
+    cycles_to_seconds,
+    fmt_size,
+    gbps_from_bytes_per_cycle,
+    ilog2,
+    is_pow2,
+    mb,
+)
+
+
+def test_size_constants_are_binary():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+    assert LINE_SIZE == 64
+
+
+def test_bytes_per_cycle_matches_paper_dram_figure():
+    # 10.4 GB/s at 2.26 GHz is about 4.6 bytes per cycle (DESIGN.md §5)
+    bpc = bytes_per_cycle(10.4, 2.26e9)
+    assert bpc == pytest.approx(4.60, abs=0.01)
+
+
+def test_bytes_per_cycle_roundtrip():
+    clock = 2.26e9
+    for gbps in (0.9, 10.4, 56.0, 68.0):
+        bpc = bytes_per_cycle(gbps, clock)
+        assert gbps_from_bytes_per_cycle(bpc, clock) == pytest.approx(gbps)
+
+
+def test_bytes_per_cycle_rejects_bad_clock():
+    with pytest.raises(ValueError):
+        bytes_per_cycle(10.0, 0.0)
+    with pytest.raises(ValueError):
+        bytes_per_cycle(10.0, -1.0)
+
+
+def test_cycles_to_seconds():
+    assert cycles_to_seconds(2.26e9, 2.26e9) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        cycles_to_seconds(1.0, 0.0)
+
+
+def test_mb_helper():
+    assert mb(8 * MB) == pytest.approx(8.0)
+    assert mb(512 * KB) == pytest.approx(0.5)
+
+
+@pytest.mark.parametrize(
+    "nbytes,expected",
+    [
+        (8 * MB, "8MB"),
+        (512 * KB, "512KB"),
+        (64, "64B"),
+        (3 * MB // 2, "1536KB"),
+        (1000, "1000B"),
+    ],
+)
+def test_fmt_size(nbytes, expected):
+    assert fmt_size(nbytes) == expected
+
+
+def test_is_pow2():
+    assert is_pow2(1) and is_pow2(2) and is_pow2(4096)
+    assert not is_pow2(0)
+    assert not is_pow2(3)
+    assert not is_pow2(-4)
+
+
+def test_ilog2():
+    assert ilog2(1) == 0
+    assert ilog2(64) == 6
+    assert ilog2(8 * MB) == 23
+    with pytest.raises(ValueError):
+        ilog2(3)
