@@ -21,17 +21,20 @@ Quick start::
 
 Packages: ``repro.caches`` (cache models), ``repro.hardware`` (the machine),
 ``repro.workloads`` (synthetic SPEC-like suite), ``repro.core`` (the
-pirating technique), ``repro.tracing`` (Pin/Gprof stand-ins),
-``repro.reference`` (trace-driven validation simulator), ``repro.analysis``
-(scaling prediction, error metrics), ``repro.experiments`` (one module per
-paper table/figure).
+pirating technique and its retry/recovery engine), ``repro.faults``
+(deterministic fault injection for robustness testing), ``repro.tracing``
+(Pin/Gprof stand-ins), ``repro.reference`` (trace-driven validation
+simulator), ``repro.analysis`` (scaling prediction, error metrics),
+``repro.experiments`` (one module per paper table/figure).
 """
 
 from .config import CacheConfig, CoreConfig, MachineConfig, nehalem_config, tiny_config
 from .errors import (
     ConfigError,
+    DegradedMeasurement,
     MeasurementError,
     ReproError,
+    RetryExhaustedError,
     SimulationError,
     TraceError,
 )
@@ -48,13 +51,27 @@ from .core import (
     DEFAULT_FETCH_RATIO_THRESHOLD,
     DynamicRunResult,
     IntervalSample,
+    PartialCurve,
     PerformanceCurve,
     Pirate,
+    PointQuality,
+    RetryPolicy,
     choose_pirate_threads,
     measure_between_markers,
     measure_curve_dynamic,
     measure_curve_fixed,
+    measure_curve_resilient,
     measure_fixed_size,
+    measure_point_resilient,
+)
+from .faults import (
+    CounterGlitchInjector,
+    DramBrownoutInjector,
+    FaultController,
+    FaultEvent,
+    FaultPlan,
+    NoisyNeighborInjector,
+    SchedulerJitterInjector,
 )
 from .tracing import AddressTrace, capture_trace, profile_workload
 from .reference import apply_offset, reference_curve, simulate_trace
@@ -80,6 +97,8 @@ __all__ = [
     "SimulationError",
     "MeasurementError",
     "TraceError",
+    "RetryExhaustedError",
+    "DegradedMeasurement",
     # machine
     "Machine",
     "CounterSample",
@@ -101,6 +120,19 @@ __all__ = [
     "measure_curve_dynamic",
     "measure_between_markers",
     "choose_pirate_threads",
+    # resilience & fault injection
+    "RetryPolicy",
+    "PartialCurve",
+    "PointQuality",
+    "measure_point_resilient",
+    "measure_curve_resilient",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultController",
+    "CounterGlitchInjector",
+    "NoisyNeighborInjector",
+    "SchedulerJitterInjector",
+    "DramBrownoutInjector",
     # tracing & reference
     "AddressTrace",
     "capture_trace",

@@ -20,7 +20,12 @@ from .scaling import (
     predict_throughput,
 )
 from .errors import CurveError, curve_errors
-from .report import format_table1, format_table2, format_table3
+from .report import (
+    format_quality_report,
+    format_table1,
+    format_table2,
+    format_table3,
+)
 from .reuse import ReuseProfile, reuse_distances, reuse_profile
 from .plot import ascii_plot
 from .phases import Phase, PhaseReport, detect_phases, phase_report
@@ -32,6 +37,7 @@ __all__ = [
     "predict_throughput",
     "CurveError",
     "curve_errors",
+    "format_quality_report",
     "format_table1",
     "format_table2",
     "format_table3",

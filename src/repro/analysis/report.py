@@ -33,6 +33,39 @@ def format_table1(config: MachineConfig | None = None) -> str:
     return "\n".join(rows)
 
 
+def format_quality_report(curve) -> str:
+    """One-line-per-issue summary of a curve's measurement quality.
+
+    Accepts any curve; only a :class:`~repro.core.resilience.PartialCurve`
+    (or anything else carrying a ``quality`` map of
+    :class:`~repro.core.resilience.PointQuality`) yields per-point detail.
+    """
+    quality = getattr(curve, "quality", None)
+    if not quality:
+        return "quality: no retry metadata (curve measured without a retry policy)"
+    records = list(quality.values())
+    retried = [q for q in records if q.attempts > 1 and q.valid and not q.degraded]
+    degraded = [q for q in records if q.degraded]
+    failed = [q for q in records if not q.valid]
+    clean = len(records) - len(retried) - len(degraded) - len(failed)
+    lines = [
+        f"quality: {len(records)} points — {clean} clean, {len(retried)} recovered "
+        f"by retry, {len(degraded)} degraded, {len(failed)} failed"
+    ]
+    for q in degraded:
+        lines.append(
+            f"  degraded: requested {q.requested_mb:.1f}MB measured at "
+            f"{q.measured_mb:.1f}MB after {q.attempts} attempts"
+        )
+    for q in failed:
+        why = ", ".join(sorted(set(q.reasons))) or "unknown"
+        lines.append(
+            f"  failed: {q.requested_mb:.1f}MB not trustworthy after "
+            f"{q.attempts} attempts ({why})"
+        )
+    return "\n".join(lines)
+
+
 def format_table2(rows: list[dict]) -> str:
     """Table II: MB stolen with 1 vs 2 Pirate threads and Target slowdown.
 

@@ -21,12 +21,19 @@ import sys
 from typing import Callable
 
 from .analysis.plot import plot_performance_curve
+from .analysis.report import format_quality_report
 from .analysis.reuse import reuse_profile
-from .core import choose_pirate_threads, measure_curve_dynamic, measure_fixed_size
+from .config import nehalem_config
+from .core import choose_pirate_threads, measure_curve_dynamic
 from .core.bandit import measure_bandwidth_curve
+from .core.resilience import RetryPolicy, measure_point_resilient
 from .tracing import capture_trace
 from .units import MB
 from .workloads import BENCHMARK_NAMES, benchmark_spec, make_benchmark, make_cigar
+
+
+class _CLIError(Exception):
+    """A bad command-line argument; rendered as one clean error line."""
 
 
 def _factory(name: str, seed: int) -> Callable:
@@ -35,8 +42,39 @@ def _factory(name: str, seed: int) -> Callable:
     return lambda: make_benchmark(name, seed=seed)
 
 
-def _parse_sizes(text: str) -> list[float]:
-    return [float(s) for s in text.split(",") if s]
+def _parse_sizes(text: str, *, what: str = "--sizes", max_mb: float | None = None) -> list[float]:
+    """Parse a comma-separated MB list, rejecting junk before any simulation runs."""
+    if max_mb is None:
+        max_mb = nehalem_config().l3.size / MB
+    sizes = []
+    for s in text.split(","):
+        s = s.strip()
+        if not s:
+            continue
+        try:
+            v = float(s)
+        except ValueError:
+            raise _CLIError(f"{what}: {s!r} is not a number") from None
+        if not v > 0:
+            raise _CLIError(f"{what}: sizes must be positive, got {s}")
+        if v > max_mb:
+            raise _CLIError(f"{what}: {s}MB exceeds the {max_mb:g}MB L3")
+        sizes.append(v)
+    if not sizes:
+        raise _CLIError(f"{what}: need at least one size")
+    return sizes
+
+
+def _require_positive(value: float, what: str) -> float:
+    if not value > 0:
+        raise _CLIError(f"{what} must be positive, got {value:g}")
+    return value
+
+
+def _require_nonneg_int(value: int, what: str) -> int:
+    if value < 0:
+        raise _CLIError(f"{what} must be >= 0, got {value}")
+    return value
 
 
 def cmd_list(args, out=print) -> int:
@@ -49,15 +87,23 @@ def cmd_list(args, out=print) -> int:
 
 
 def cmd_curve(args, out=print) -> int:
+    sizes = _parse_sizes(args.sizes)
+    _require_positive(args.total, "--total")
+    _require_positive(args.interval, "--interval")
+    _require_nonneg_int(args.retries, "--retries")
+    policy = RetryPolicy(max_attempts=args.retries + 1) if args.retries else None
     result = measure_curve_dynamic(
         _factory(args.benchmark, args.seed),
-        _parse_sizes(args.sizes),
+        sizes,
         total_instructions=args.total,
         interval_instructions=args.interval,
         benchmark=args.benchmark,
         seed=args.seed,
+        retry_policy=policy,
     )
     out(result.curve.format_table())
+    if policy is not None:
+        out(format_quality_report(result.curve))
     out(f"overhead vs running alone: {result.overhead * 100:.1f}%")
     if args.plot:
         for metric in ("cpi", "bandwidth_gbps", "fetch_ratio"):
@@ -67,13 +113,22 @@ def cmd_curve(args, out=print) -> int:
 
 
 def cmd_steal(args, out=print) -> int:
-    out(f"{'stolen MB':>10} {'pirate FR%':>11} {'target CPI':>11} {'ok':>3}")
+    if args.threads < 1:
+        raise _CLIError(f"--threads must be >= 1, got {args.threads}")
+    _require_positive(args.interval, "--interval")
+    _require_nonneg_int(args.retries, "--retries")
+    # each stolen size is measured through the retry engine, but with size
+    # degradation disabled — the sweep exists to find where each exact size
+    # stops being achievable, so substituting sizes would defeat it
+    policy = RetryPolicy(max_attempts=args.retries + 1, degrade_after_attempt=10**6)
+    out(f"{'stolen MB':>10} {'pirate FR%':>11} {'target CPI':>11} {'ok':>3} {'att':>4}")
     best = 0.0
     for step in range(1, 16):
         stolen = step * MB // 2
-        res = measure_fixed_size(
+        res, q = measure_point_resilient(
             _factory(args.benchmark, args.seed),
             stolen,
+            policy=policy,
             num_pirate_threads=args.threads,
             interval_instructions=args.interval,
             n_intervals=1,
@@ -81,18 +136,20 @@ def cmd_steal(args, out=print) -> int:
             seed=args.seed,
         )
         s = res.samples[0]
-        ok = s.valid
-        if ok:
+        if q.valid:
             best = stolen / MB
         out(
-            f"{stolen / MB:>10.1f} {s.pirate_fetch_ratio * 100:>11.2f} "
-            f"{s.target.cpi:>11.2f} {'y' if ok else 'NO':>3}"
+            f"{stolen / MB:>10.1f} {q.pirate_fetch_ratio * 100:>11.2f} "
+            f"{s.target.cpi:>11.2f} {'y' if q.valid else 'NO':>3} {q.attempts:>4}"
         )
     out(f"max stealable with {args.threads} thread(s): {best:.1f}MB")
     return 0
 
 
 def cmd_probe(args, out=print) -> int:
+    if args.max_threads < 1:
+        raise _CLIError(f"--max-threads must be >= 1, got {args.max_threads}")
+    _require_positive(args.interval, "--interval")
     probe = choose_pirate_threads(
         _factory(args.benchmark, args.seed),
         max_threads=args.max_threads,
@@ -108,7 +165,15 @@ def cmd_probe(args, out=print) -> int:
 
 
 def cmd_bandwidth(args, out=print) -> int:
-    gaps = [float(g) for g in args.gaps.split(",") if g]
+    _require_positive(args.interval, "--interval")
+    try:
+        gaps = [float(g) for g in args.gaps.split(",") if g.strip()]
+    except ValueError:
+        raise _CLIError(f"--gaps: {args.gaps!r} is not a comma-separated number list") from None
+    if not gaps:
+        raise _CLIError("--gaps: need at least one issue gap")
+    if any(g <= 0 for g in gaps):
+        raise _CLIError("--gaps: issue gaps must be positive")
     curve = measure_bandwidth_curve(
         _factory(args.benchmark, args.seed),
         gaps,
@@ -122,11 +187,13 @@ def cmd_bandwidth(args, out=print) -> int:
 
 
 def cmd_reuse(args, out=print) -> int:
+    _require_positive(args.window, "--window")
+    sizes = _parse_sizes(args.sizes)
     trace = capture_trace(
         _factory(args.benchmark, args.seed)(), 0, args.window, benchmark=args.benchmark
     )
     prof = reuse_profile(trace, skip_fraction=0.25)
-    out(prof.format_table(_parse_sizes(args.sizes)))
+    out(prof.format_table(sizes))
     out(f"working-set estimate: {prof.working_set_mb():.2f}MB")
     return 0
 
@@ -155,6 +222,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interval", type=float, default=1e6)
     p.add_argument("--plot", action="store_true")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--retries", type=int, default=3,
+        help="re-measurements allowed per invalid interval (0 disables the retry engine)",
+    )
     p.set_defaults(fn=cmd_curve)
 
     p = sub.add_parser("steal", help="how much cache the Pirate can steal")
@@ -162,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=1)
     p.add_argument("--interval", type=float, default=5e5)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--retries", type=int, default=1,
+        help="re-measurements allowed per stolen size before it is reported unachievable",
+    )
     p.set_defaults(fn=cmd_steal)
 
     p = sub.add_parser("probe", help="pirate thread-count probe (§III-C)")
@@ -200,7 +275,11 @@ def main(argv: list[str] | None = None, out=print) -> int:
         if args.benchmark not in known:
             out(f"unknown benchmark {args.benchmark!r}; try: python -m repro list")
             return 2
-    return args.fn(args, out=out)
+    try:
+        return args.fn(args, out=out)
+    except _CLIError as e:
+        out(f"error: {e}")
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,7 +19,11 @@ paper describes it, on top of the simulated machine:
   the feature used to align Pirate data with reference traces (§III-A),
 * :mod:`repro.core.bandit` — the *Bandwidth Bandit* extension the paper's
   conclusion proposes as future work: performance as a function of available
-  off-chip bandwidth instead of cache capacity.
+  off-chip bandwidth instead of cache capacity,
+* :mod:`repro.core.resilience` — the retry/recovery engine: invalid or
+  implausible intervals are re-measured with escalating warm-up, unmeasured
+  settle co-runs and (last resort) degraded steal sizes, yielding a
+  :class:`~repro.core.resilience.PartialCurve` with per-point quality.
 """
 
 from .curves import IntervalSample, PerformanceCurve
@@ -36,6 +40,16 @@ from .multitarget import (
     choose_pirate_threads_multitarget,
     make_parallel_target,
     measure_multithreaded,
+)
+from .resilience import (
+    PartialCurve,
+    PointQuality,
+    RetryEngine,
+    RetryPolicy,
+    classify_sample,
+    interval_sanity,
+    measure_curve_resilient,
+    measure_point_resilient,
 )
 
 __all__ = [
@@ -63,4 +77,12 @@ __all__ = [
     "make_parallel_target",
     "measure_multithreaded",
     "choose_pirate_threads_multitarget",
+    "RetryPolicy",
+    "RetryEngine",
+    "PartialCurve",
+    "PointQuality",
+    "classify_sample",
+    "interval_sanity",
+    "measure_point_resilient",
+    "measure_curve_resilient",
 ]

@@ -20,12 +20,14 @@ from typing import Callable
 
 from ..config import MachineConfig, nehalem_config
 from ..errors import MeasurementError
+from ..faults.controller import as_controller
 from ..hardware.machine import Machine
 from ..hardware.thread import WorkloadLike
 from ..units import MB
 from .curves import IntervalSample, PerformanceCurve
 from .harness import DEFAULT_INTERVAL_INSTRUCTIONS, _make_target, _setup
 from .monitor import DEFAULT_FETCH_RATIO_THRESHOLD, PirateMonitor
+from .resilience import PartialCurve, PointQuality, RetryPolicy, classify_sample
 
 
 @dataclass
@@ -93,6 +95,8 @@ def measure_curve_dynamic(
     seed: int = 0,
     quantum: float | None = None,
     compute_baseline: bool = True,
+    retry_policy: RetryPolicy | None = None,
+    fault_plan=None,
 ) -> DynamicRunResult:
     """Measure every size in ``sizes_mb`` from one Target execution (Fig. 5).
 
@@ -115,6 +119,14 @@ def measure_curve_dynamic(
     intervals this settling is an invisible sliver of the interval; at this
     library's 1:100 scale it must be excluded explicitly or the Pirate's
     fetch ratio reports the re-claim churn instead of steady-state stealing.
+
+    ``retry_policy`` routes invalid intervals through the retry engine:
+    instead of flagging a poisoned interval and moving on, the harness
+    re-warms (with exponential backoff), re-settles and re-measures the same
+    size up to the policy's attempt budget, and the result's curve becomes a
+    :class:`~repro.core.resilience.PartialCurve` with per-point quality
+    metadata.  ``fault_plan`` installs a :mod:`repro.faults` plan on the
+    machine (the baseline run stays unfaulted).
     """
     config = config or nehalem_config()
     if not sizes_mb:
@@ -133,6 +145,8 @@ def measure_curve_dynamic(
     machine, target, pirate = _setup(
         target_factory, config, num_pirate_threads, seed, quantum
     )
+    if fault_plan is not None:
+        machine.install_faults(as_controller(fault_plan))
     name = benchmark or target.workload.name
     target.instruction_limit = total_instructions
     monitor = PirateMonitor(pirate, threshold)
@@ -149,6 +163,25 @@ def measure_curve_dynamic(
         initial_warmup_instructions = 8.0 * interval_instructions
     goal = min(target.instructions + initial_warmup_instructions, total_instructions * 0.5)
     machine.run_only(target, until=lambda: target.instructions >= goal or target.finished)
+
+    quality: dict[int, PointQuality] = {}
+
+    def _measure_interval(stolen: int) -> IntervalSample:
+        before = machine.counters.sample(target.core)
+        t0 = machine.frontier
+        monitor.begin()
+        goal = target.instructions + interval_instructions
+        machine.run(until=lambda: target.instructions >= goal or target.finished)
+        verdict = monitor.end()
+        delta = machine.counters.sample(target.core).delta(before)
+        return IntervalSample(
+            target_cache_bytes=config.l3.size - stolen,
+            target=delta,
+            pirate_fetch_ratio=verdict.fetch_ratio,
+            valid=verdict.trustworthy,
+            start_cycle=t0,
+            wall_cycles=machine.frontier - t0,
+        )
 
     while not target.finished:
         size_mb = order[idx]
@@ -174,31 +207,67 @@ def measure_curve_dynamic(
             if target.finished:
                 break
 
-        before = machine.counters.sample(target.core)
-        t0 = machine.frontier
-        monitor.begin()
-        goal = target.instructions + interval_instructions
-        machine.run(until=lambda: target.instructions >= goal or target.finished)
-        verdict = monitor.end()
-        delta = machine.counters.sample(target.core).delta(before)
-        if delta.instructions > 0:
-            samples.append(
-                IntervalSample(
-                    target_cache_bytes=config.l3.size - stolen,
-                    target=delta,
-                    pirate_fetch_ratio=verdict.fetch_ratio,
-                    valid=verdict.trustworthy,
-                    start_cycle=t0,
-                    wall_cycles=machine.frontier - t0,
+        sample = _measure_interval(stolen)
+        attempts = 1
+        if retry_policy is not None:
+            # route the interval through the retry engine: re-warm with
+            # backoff, re-settle, re-measure the same size until clean or
+            # out of budget (no size substitution on the dynamic schedule —
+            # the grid is the caller's contract)
+            reasons: list[str] = []
+            while not target.finished:
+                reason = classify_sample(sample, interval_instructions, retry_policy)
+                if reason is None or attempts >= retry_policy.max_attempts:
+                    break
+                reasons.append(reason)
+                attempts += 1
+                rewarm = retry_policy.warmup_for(
+                    max(warm_instr, 0.25 * interval_instructions), attempts
                 )
-            )
+                goal = min(target.instructions + rewarm, total_instructions)
+                machine.run_only(
+                    target, until=lambda: target.instructions >= goal or target.finished
+                )
+                settle = max(
+                    retry_policy.settle_for(interval_instructions, attempts),
+                    settle_fraction * interval_instructions,
+                )
+                goal = target.instructions + settle
+                machine.run(until=lambda: target.instructions >= goal or target.finished)
+                if target.finished:
+                    break
+                sample = _measure_interval(stolen)
+            q = quality.get(sample.target_cache_bytes)
+            ok = classify_sample(sample, interval_instructions, retry_policy) is None
+            if q is None:
+                quality[sample.target_cache_bytes] = PointQuality(
+                    requested_mb=size_mb,
+                    measured_mb=size_mb,
+                    attempts=attempts,
+                    pirate_fetch_ratio=sample.pirate_fetch_ratio,
+                    valid=ok,
+                    reasons=reasons,
+                )
+            else:
+                # a zigzag revisit is a fresh interval, not a retry: only the
+                # extra attempts beyond its first count toward the total
+                q.attempts += attempts - 1
+                q.reasons.extend(reasons)
+                q.valid = q.valid and ok
+                q.pirate_fetch_ratio = max(q.pirate_fetch_ratio, sample.pirate_fetch_ratio)
+        if sample.target.instructions > 0:
+            samples.append(sample)
         idx += 1
         if idx >= len(order):
             idx = 0
             cycles_completed += 1
 
     wall = machine.frontier - start
-    curve = PerformanceCurve.from_samples(name, samples, config.core.clock_hz)
+    if retry_policy is not None:
+        curve = PartialCurve.from_samples(name, samples, config.core.clock_hz)
+        curve.quality = quality
+    else:
+        curve = PerformanceCurve.from_samples(name, samples, config.core.clock_hz)
     baseline = 0.0
     if compute_baseline:
         baseline = run_target_alone(

@@ -15,6 +15,7 @@ from typing import Callable
 
 from ..config import MachineConfig, nehalem_config
 from ..errors import MeasurementError
+from ..faults.controller import as_controller
 from ..hardware.machine import Machine
 from ..hardware.thread import SimThread, WorkloadLike
 from ..units import MB
@@ -78,15 +79,22 @@ def measure_fixed_size(
     interval_instructions: float = DEFAULT_INTERVAL_INSTRUCTIONS,
     n_intervals: int = 3,
     warmup_instructions: float | None = None,
+    settle_instructions: float = 0.0,
     threshold: float = DEFAULT_FETCH_RATIO_THRESHOLD,
     seed: int = 0,
     quantum: float | None = None,
+    fault_plan=None,
 ) -> FixedSizeResult:
     """Co-run Target and Pirate with a fixed stolen size; measure intervals.
 
     ``target_factory`` is either a zero-arg callable producing a fresh
     workload or a workload instance (which is reset).  Returns per-interval
     Target counter deltas, each validated against the Pirate's fetch ratio.
+
+    ``settle_instructions`` inserts an unmeasured co-run between warm-up and
+    the first interval (the retry engine's escalation uses this to let the
+    Pirate re-claim lines lost to a transient perturbation).  ``fault_plan``
+    installs a :mod:`repro.faults` plan (or ready controller) on the machine.
     """
     config = config or nehalem_config()
     if not 0 <= stolen_bytes <= config.l3.size:
@@ -94,6 +102,8 @@ def measure_fixed_size(
     machine, target, pirate = _setup(
         target_factory, config, num_pirate_threads, seed, quantum
     )
+    if fault_plan is not None:
+        machine.install_faults(as_controller(fault_plan))
     start = machine.frontier
 
     pirate.set_working_set(stolen_bytes)
@@ -103,6 +113,10 @@ def measure_fixed_size(
         warmup_instructions = interval_instructions
     warm_goal = target.instructions + warmup_instructions
     machine.run(until=lambda: target.instructions >= warm_goal)
+
+    if settle_instructions > 0.0:
+        settle_goal = target.instructions + settle_instructions
+        machine.run(until=lambda: target.instructions >= settle_goal)
 
     monitor = PirateMonitor(pirate, threshold)
     samples = []
@@ -145,18 +159,43 @@ def measure_curve_fixed(
     threshold: float = DEFAULT_FETCH_RATIO_THRESHOLD,
     seed: int = 0,
     quantum: float | None = None,
+    retry=None,
+    fault_plan=None,
 ) -> PerformanceCurve:
     """The expensive baseline: one fixed-size execution per cache size.
 
     ``sizes_mb`` are *Target-available* sizes; the Pirate steals the
     complement of each.  Used as ground truth for validating the dynamic
     method (Table III) and wherever a single size is all that is needed.
+
+    Passing a :class:`~repro.core.resilience.RetryPolicy` as ``retry`` routes
+    the whole sweep through the retry engine and returns a
+    :class:`~repro.core.resilience.PartialCurve` with per-point quality.
     """
     config = config or nehalem_config()
     if not callable(target_factory):
         raise MeasurementError("measure_curve_fixed needs a factory for fresh targets")
+    if retry is not None:
+        from .resilience import measure_curve_resilient
+
+        return measure_curve_resilient(
+            target_factory,
+            sizes_mb,
+            benchmark=benchmark,
+            config=config,
+            policy=retry,
+            fault_plan=fault_plan,
+            num_pirate_threads=num_pirate_threads,
+            interval_instructions=interval_instructions,
+            n_intervals=n_intervals,
+            warmup_instructions=warmup_instructions,
+            threshold=threshold,
+            seed=seed,
+            quantum=quantum,
+        )
     samples: list[IntervalSample] = []
-    name = benchmark
+    # resolve the benchmark name once, not once per sweep size
+    name = benchmark if benchmark is not None else _make_target(target_factory).name
     for size_mb in sizes_mb:
         stolen = config.l3.size - int(size_mb * MB)
         result = measure_fixed_size(
@@ -170,10 +209,9 @@ def measure_curve_fixed(
             threshold=threshold,
             seed=seed,
             quantum=quantum,
+            fault_plan=fault_plan,
         )
         samples.extend(result.samples)
-        if name is None:
-            name = _make_target(target_factory).name
     return PerformanceCurve.from_samples(
         name or "target", samples, config.core.clock_hz
     )

@@ -25,10 +25,13 @@ from ..errors import MeasurementError
 from ..hardware.counters import CounterSample
 from ..hardware.machine import Machine
 from ..hardware.thread import SimThread, WorkloadLike
+from ..faults.controller import as_controller
 from ..rng import stable_seed
 from ..workloads import make_benchmark
+from .curves import IntervalSample
 from .monitor import DEFAULT_FETCH_RATIO_THRESHOLD, PirateMonitor
 from .pirate import Pirate
+from .resilience import RetryPolicy, classify_sample
 
 
 def make_parallel_target(
@@ -70,6 +73,8 @@ class MultiTargetResult:
     per_thread: list[CounterSample]
     pirate_fetch_ratio: float
     valid: bool
+    #: measurement attempts the retry engine spent on this interval
+    attempts: int = 1
 
     @property
     def aggregate_cpi(self) -> float:
@@ -92,12 +97,19 @@ def measure_multithreaded(
     warmup_instructions: float | None = None,
     threshold: float = DEFAULT_FETCH_RATIO_THRESHOLD,
     seed: int = 0,
+    retry_policy: RetryPolicy | None = None,
+    fault_plan=None,
 ) -> MultiTargetResult:
     """Co-run a multithreaded Target with the Pirate for one interval.
 
     Target thread ``i`` is pinned to core ``i``; the Pirate occupies the
     remaining cores.  The interval ends when *every* Target thread has
     retired its share of instructions.
+
+    ``retry_policy`` routes the interval through the retry engine: if the
+    Pirate ran hot or the aggregate counters are implausible, the co-run
+    warms up further (with backoff) and the interval is re-measured, up to
+    the policy's attempt budget.
     """
     config = config or nehalem_config()
     k = len(target_factories)
@@ -109,6 +121,8 @@ def measure_multithreaded(
             f"{config.num_cores} cores"
         )
     machine = Machine(config, seed=seed)
+    if fault_plan is not None:
+        machine.install_faults(as_controller(fault_plan))
     threads: list[SimThread] = []
     for i, factory in enumerate(target_factories):
         wl = factory() if callable(factory) else factory
@@ -125,22 +139,49 @@ def measure_multithreaded(
     )
 
     monitor = PirateMonitor(pirate, threshold)
-    befores = [machine.counters.sample(i) for i in range(k)]
-    monitor.begin()
-    goals = [t.instructions + interval_instructions for t in threads]
-    machine.run(
-        until=lambda: all(t.instructions >= g for t, g in zip(threads, goals))
-    )
-    verdict = monitor.end()
-    deltas = [machine.counters.sample(i).delta(befores[i]) for i in range(k)]
+
+    def _measure() -> tuple[list[CounterSample], float, float]:
+        befores = [machine.counters.sample(i) for i in range(k)]
+        t0 = machine.frontier
+        monitor.begin()
+        goals = [t.instructions + interval_instructions for t in threads]
+        machine.run(
+            until=lambda: all(t.instructions >= g for t, g in zip(threads, goals))
+        )
+        verdict = monitor.end()
+        deltas = [machine.counters.sample(i).delta(befores[i]) for i in range(k)]
+        return deltas, verdict.fetch_ratio, machine.frontier - t0
+
+    deltas, fetch_ratio, wall = _measure()
+    attempts = 1
+    while retry_policy is not None:
+        probe = IntervalSample(
+            target_cache_bytes=config.l3.size - stolen_bytes,
+            target=_aggregate(deltas),
+            pirate_fetch_ratio=fetch_ratio,
+            valid=fetch_ratio <= threshold,
+            wall_cycles=wall,
+        )
+        reason = classify_sample(probe, k * interval_instructions, retry_policy)
+        if reason is None or attempts >= retry_policy.max_attempts:
+            break
+        attempts += 1
+        # escalate: extended co-run warm-up, then re-measure
+        extra = retry_policy.warmup_for(warmup_instructions, attempts)
+        goals = [t.instructions + extra for t in threads]
+        machine.run(
+            until=lambda: all(t.instructions >= g for t, g in zip(threads, goals))
+        )
+        deltas, fetch_ratio, wall = _measure()
     return MultiTargetResult(
         target_threads=k,
         pirate_threads=num_pirate_threads,
         target_cache_bytes=config.l3.size - stolen_bytes,
         aggregate=_aggregate(deltas),
         per_thread=deltas,
-        pirate_fetch_ratio=verdict.fetch_ratio,
-        valid=verdict.trustworthy,
+        pirate_fetch_ratio=fetch_ratio,
+        valid=fetch_ratio <= threshold,
+        attempts=attempts,
     )
 
 

@@ -1,0 +1,42 @@
+"""Fault injection for the simulated machine.
+
+Real pirating runs on shared hardware face co-resident activity the paper's
+methodology can only discard intervals around: counter reads glitch,
+schedulers jitter, neighbors burst through the shared cache, DRAM browns
+out.  This package perturbs the simulated machine the same way — under a
+deterministic, seedable :class:`FaultPlan` — so the retry/recovery engine in
+:mod:`repro.core.resilience` can be proven to recover clean curves under
+fire.
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultEvent`: the
+  pre-compiled, reproducible schedule of fault windows,
+* :mod:`repro.faults.injectors` — composable generators of those windows
+  (counter glitches, noisy neighbor bursts, scheduler jitter, DRAM
+  brownouts),
+* :mod:`repro.faults.controller` — :class:`FaultController`: applies a plan
+  to a live machine through the quantum tick and counter-tamper hooks.
+"""
+
+from .plan import KNOWN_KINDS, FaultEvent, FaultPlan
+from .injectors import (
+    CounterGlitchInjector,
+    DramBrownoutInjector,
+    FaultInjector,
+    NoisyNeighborInjector,
+    SchedulerJitterInjector,
+)
+from .controller import FaultController, NoisyNeighborWorkload, as_controller
+
+__all__ = [
+    "KNOWN_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "CounterGlitchInjector",
+    "NoisyNeighborInjector",
+    "SchedulerJitterInjector",
+    "DramBrownoutInjector",
+    "FaultController",
+    "NoisyNeighborWorkload",
+    "as_controller",
+]

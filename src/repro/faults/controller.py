@@ -1,0 +1,151 @@
+"""Applying a fault plan to a live machine.
+
+The :class:`FaultController` is the bridge between the pure-data
+:class:`~repro.faults.plan.FaultPlan` and the simulated machine: the machine
+calls :meth:`FaultController.tick` once per scheduler quantum (see
+:meth:`repro.hardware.machine.Machine.run`), and the controller applies
+whatever windows are active at the current frontier — waking/halting the
+noisy-neighbor thread, scaling the scheduling quantum, browning out the DRAM
+domain — and tampers with counter reads through the
+:attr:`~repro.hardware.counters.PerfCounters.tamper` hook.
+
+Everything the controller does is a deterministic function of the plan and
+the machine's own clock, so a faulted run replays exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..hardware.counters import CounterSample
+from ..hardware.machine import Machine
+from ..hardware.thread import SimThread
+from .plan import FaultPlan
+
+#: Noisy-neighbor line-address base — far from workloads, Pirate and Bandit.
+NEIGHBOR_BASE = 1 << 46
+
+
+class NoisyNeighborWorkload:
+    """A streaming co-runner: every access misses and fills the shared L3.
+
+    Strictly increasing line addresses walk through consecutive sets, so a
+    burst evicts resident lines across the whole cache (capacity pressure on
+    the Pirate) while saturating the DRAM interface (bandwidth pressure on
+    the Target) — the co-resident perturbation the retry engine must survive.
+    """
+
+    def __init__(self, intensity: float = 1.0):
+        self.name = "noisy-neighbor"
+        self.mem_fraction = 1.0
+        self.cpi_base = max(0.4 / max(intensity, 1e-3), 0.1)
+        self.mlp = 8.0
+        self.accesses_per_line = 1.0
+        self.bypass_private = True
+        self._pos = 0
+
+    def chunk(self, n_lines: int) -> tuple[np.ndarray, None]:
+        ks = self._pos + np.arange(n_lines, dtype=np.int64)
+        self._pos += n_lines
+        return NEIGHBOR_BASE + ks, None
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+class FaultController:
+    """Drives a :class:`FaultPlan` against one machine.
+
+    Install with :meth:`Machine.install_faults`; the machine then calls
+    :meth:`tick` each quantum.  One controller serves one machine.
+    """
+
+    def __init__(self, plan: FaultPlan, *, neighbor_core: int | None = None):
+        self.plan = plan
+        self.neighbor_core = neighbor_core
+        self.machine: Machine | None = None
+        self._neighbor: SimThread | None = None
+        self._dram_base: float | None = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def attach(self, machine: Machine) -> None:
+        """Bind to ``machine`` and install the counter-tamper hook."""
+        self.machine = machine
+        self._dram_base = machine.dram_domain.capacity
+        machine.counters.tamper = self._tamper
+
+    def detach(self) -> None:
+        """Remove every hook and restore unfaulted machine state."""
+        m = self.machine
+        if m is None:
+            return
+        m.counters.tamper = None
+        m.quantum_scale = 1.0
+        if self._dram_base is not None:
+            m.dram_domain.capacity = self._dram_base
+        if self._neighbor is not None and not self._neighbor.suspended:
+            m.suspend(self._neighbor)
+        m.fault_controller = None
+        self.machine = None
+
+    # -- hooks --------------------------------------------------------------------
+
+    def _tamper(self, core: int, sample: CounterSample) -> CounterSample:
+        """Counter-glitch hook: corrupt or drop reads of ``core`` in-window."""
+        assert self.machine is not None
+        for ev in self.plan.active("counter_glitch", self.machine.frontier):
+            if ev.core != core:
+                continue
+            if ev.magnitude <= 0.0:
+                return CounterSample()  # dropped read: an all-zero bank
+            return replace(sample, cycles=sample.cycles * ev.magnitude)
+        return sample
+
+    def tick(self, now_cycles: float) -> None:
+        """Apply the plan's active windows at the current frontier."""
+        m = self.machine
+        assert m is not None
+
+        bursts = self.plan.active("noisy_neighbor", now_cycles)
+        if bursts:
+            if self._neighbor is None:
+                core = self.neighbor_core
+                if core is None:
+                    core = bursts[0].core if bursts[0].core >= 0 else m.config.num_cores - 1
+                self._neighbor = m.add_thread(
+                    NoisyNeighborWorkload(intensity=bursts[0].magnitude), core
+                )
+            if self._neighbor.suspended:
+                m.resume(self._neighbor)
+        elif self._neighbor is not None and not self._neighbor.suspended:
+            m.suspend(self._neighbor)
+
+        jitter = self.plan.first_active("sched_jitter", now_cycles)
+        if jitter is not None:
+            a = min(max(jitter.magnitude, 0.0), 0.9)
+            # deterministic pseudo-noise keyed to the frontier: replayable
+            phase = (int(now_cycles) * 2654435761) & 0xFFFF
+            m.quantum_scale = 1.0 - a + 2.0 * a * (phase / 65535.0)
+        else:
+            m.quantum_scale = 1.0
+
+        brownout = self.plan.first_active("dram_brownout", now_cycles)
+        assert self._dram_base is not None
+        if brownout is not None:
+            m.dram_domain.capacity = self._dram_base * min(
+                max(brownout.magnitude, 0.05), 1.0
+            )
+        else:
+            m.dram_domain.capacity = self._dram_base
+
+
+def as_controller(faults: FaultPlan | FaultController | None) -> FaultController | None:
+    """Accept a plan or a ready controller (harness convenience)."""
+    if faults is None:
+        return None
+    if hasattr(faults, "attach") and hasattr(faults, "tick"):
+        return faults  # already a controller
+    return FaultController(faults)

@@ -1,0 +1,203 @@
+"""Composable fault injectors.
+
+Each injector turns an intent ("three counter glitches somewhere in the
+run", "one noisy-neighbor burst early on") into concrete
+:class:`~repro.faults.plan.FaultEvent` windows, drawing any randomness from
+the child generator :meth:`FaultPlan.compile` hands it — never from global
+state — so a compiled plan is a pure function of ``(injectors, horizon,
+seed)``.
+
+Every injector also accepts explicit ``at=[(start, duration), ...]`` windows,
+which bypass the generator entirely; tests use this to pin a fault to a known
+measurement interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .plan import FaultEvent
+
+
+def _starts(
+    rng: np.random.Generator, n: int, duration: float, horizon: float
+) -> list[float]:
+    hi = max(horizon - duration, 0.0)
+    return sorted(float(s) for s in rng.uniform(0.0, hi, size=n))
+
+
+class FaultInjector:
+    """Base class: a composable generator of fault-event windows."""
+
+    #: event kind this injector emits (a :data:`~repro.faults.plan.KNOWN_KINDS` member)
+    kind = "counter_glitch"
+    #: distinguishes multiple instances of one injector class within a plan
+    salt = 0
+
+    def __init__(self, *, at: list[tuple[float, float]] | None = None, salt: int = 0):
+        self.at = list(at) if at is not None else None
+        self.salt = salt
+
+    def events(self, horizon_cycles: float, rng: np.random.Generator) -> list[FaultEvent]:
+        """Concrete windows over ``[0, horizon_cycles)``."""
+        raise NotImplementedError
+
+    def _explicit(self, magnitude: float, core: int) -> list[FaultEvent]:
+        return [
+            FaultEvent(self.kind, start, duration, magnitude, core)
+            for start, duration in (self.at or [])
+        ]
+
+
+class CounterGlitchInjector(FaultInjector):
+    """Perturbed performance-counter reads on one core.
+
+    While a window is active, every :meth:`PerfCounters.sample` of ``core``
+    is tampered with: ``magnitude > 0`` scales the cycle counter (a corrupted
+    read — CPI becomes implausible), ``magnitude <= 0`` returns an all-zero
+    bank (a dropped read — deltas go negative).  Both are detected by the
+    retry engine's interval plausibility checks.
+    """
+
+    kind = "counter_glitch"
+
+    def __init__(
+        self,
+        *,
+        windows: int = 3,
+        duration_cycles: float = 100_000.0,
+        magnitude: float = 25.0,
+        core: int = 0,
+        at: list[tuple[float, float]] | None = None,
+        salt: int = 0,
+    ):
+        super().__init__(at=at, salt=salt)
+        if windows < 1:
+            raise ConfigError("need at least one glitch window")
+        self.windows = windows
+        self.duration_cycles = duration_cycles
+        self.magnitude = magnitude
+        self.core = core
+
+    def events(self, horizon_cycles: float, rng: np.random.Generator) -> list[FaultEvent]:
+        if self.at is not None:
+            return self._explicit(self.magnitude, self.core)
+        return [
+            FaultEvent(self.kind, s, self.duration_cycles, self.magnitude, self.core)
+            for s in _starts(rng, self.windows, self.duration_cycles, horizon_cycles)
+        ]
+
+
+class NoisyNeighborInjector(FaultInjector):
+    """A transient co-resident thread bursting L3/DRAM traffic.
+
+    During each burst the controller wakes a streaming thread (think a
+    Flush+Flush-style co-runner or an unrelated tenant) that fills the shared
+    L3 and saturates DRAM, evicting Pirate lines and pushing its fetch ratio
+    over the validity threshold.  ``intensity`` scales the thread's access
+    rate (1.0 = full streaming rate).
+    """
+
+    kind = "noisy_neighbor"
+
+    def __init__(
+        self,
+        *,
+        bursts: int = 2,
+        duration_cycles: float = 1_500_000.0,
+        intensity: float = 1.0,
+        core: int = -1,
+        at: list[tuple[float, float]] | None = None,
+        salt: int = 0,
+    ):
+        super().__init__(at=at, salt=salt)
+        if bursts < 1:
+            raise ConfigError("need at least one burst")
+        if intensity <= 0:
+            raise ConfigError("intensity must be positive")
+        self.bursts = bursts
+        self.duration_cycles = duration_cycles
+        self.intensity = intensity
+        self.core = core
+
+    def events(self, horizon_cycles: float, rng: np.random.Generator) -> list[FaultEvent]:
+        if self.at is not None:
+            return self._explicit(self.intensity, self.core)
+        return [
+            FaultEvent(self.kind, s, self.duration_cycles, self.intensity, self.core)
+            for s in _starts(rng, self.bursts, self.duration_cycles, horizon_cycles)
+        ]
+
+
+class SchedulerJitterInjector(FaultInjector):
+    """Quantum-length jitter: the scheduler's time slices wobble.
+
+    Models OS scheduling noise (timer interrupts, migrations the paper pins
+    threads to avoid).  While active, each quantum is scaled by a
+    deterministic factor in ``[1 - amplitude, 1 + amplitude]``.
+    """
+
+    kind = "sched_jitter"
+
+    def __init__(
+        self,
+        *,
+        windows: int = 2,
+        duration_cycles: float = 1_000_000.0,
+        amplitude: float = 0.5,
+        at: list[tuple[float, float]] | None = None,
+        salt: int = 0,
+    ):
+        super().__init__(at=at, salt=salt)
+        if not 0.0 < amplitude < 1.0:
+            raise ConfigError(f"amplitude must be in (0, 1), got {amplitude}")
+        self.windows = windows
+        self.duration_cycles = duration_cycles
+        self.amplitude = amplitude
+
+    def events(self, horizon_cycles: float, rng: np.random.Generator) -> list[FaultEvent]:
+        if self.at is not None:
+            return self._explicit(self.amplitude, 0)
+        return [
+            FaultEvent(self.kind, s, self.duration_cycles, self.amplitude, 0)
+            for s in _starts(rng, self.windows, self.duration_cycles, horizon_cycles)
+        ]
+
+
+class DramBrownoutInjector(FaultInjector):
+    """Transient DRAM-bandwidth capacity loss.
+
+    Models memory-controller thermal throttling or refresh storms: while a
+    window is active the DRAM domain's capacity drops to
+    ``remaining_fraction`` of nominal, so bandwidth-bound intervals measure
+    slow — and recover once the window passes.
+    """
+
+    kind = "dram_brownout"
+
+    def __init__(
+        self,
+        *,
+        windows: int = 1,
+        duration_cycles: float = 2_000_000.0,
+        remaining_fraction: float = 0.5,
+        at: list[tuple[float, float]] | None = None,
+        salt: int = 0,
+    ):
+        super().__init__(at=at, salt=salt)
+        if not 0.0 < remaining_fraction <= 1.0:
+            raise ConfigError(
+                f"remaining_fraction must be in (0, 1], got {remaining_fraction}"
+            )
+        self.windows = windows
+        self.duration_cycles = duration_cycles
+        self.remaining_fraction = remaining_fraction
+
+    def events(self, horizon_cycles: float, rng: np.random.Generator) -> list[FaultEvent]:
+        if self.at is not None:
+            return self._explicit(self.remaining_fraction, 0)
+        return [
+            FaultEvent(self.kind, s, self.duration_cycles, self.remaining_fraction, 0)
+            for s in _starts(rng, self.windows, self.duration_cycles, horizon_cycles)
+        ]

@@ -1,0 +1,129 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` is a pre-compiled schedule of :class:`FaultEvent`
+windows on the simulated machine's cycle axis.  Plans are built either from
+explicit event lists (tests pinning a glitch to a known interval) or by
+compiling a set of composable injectors (:mod:`repro.faults.injectors`) with
+a seed — the same seed always yields the same schedule, so every failure an
+injected fault provokes is bit-reproducible.
+
+The plan is pure data: it never touches a machine.  The
+:class:`~repro.faults.controller.FaultController` reads the plan every
+scheduler quantum and applies whatever windows are active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import ConfigError
+from ..rng import make_rng, stable_seed
+
+#: Event kinds understood by the fault controller.
+KNOWN_KINDS = ("counter_glitch", "noisy_neighbor", "sched_jitter", "dram_brownout")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault window on the machine's cycle axis.
+
+    ``magnitude`` is kind-specific: the cycle-corruption scale for counter
+    glitches (``<= 0`` means dropped/zeroed reads), the traffic intensity for
+    a noisy neighbor, the quantum-jitter amplitude for scheduler jitter, and
+    the *remaining* capacity fraction for a DRAM brownout.  ``core`` targets
+    per-core faults (counter glitches); ``-1`` means "let the controller
+    choose" (the noisy neighbor defaults to the machine's last core).
+    """
+
+    kind: str
+    start_cycle: float
+    duration_cycles: float
+    magnitude: float = 1.0
+    core: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KNOWN_KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}; known: {KNOWN_KINDS}")
+        if self.start_cycle < 0 or self.duration_cycles <= 0:
+            raise ConfigError(
+                f"{self.kind}: need start >= 0 and duration > 0, got "
+                f"({self.start_cycle}, {self.duration_cycles})"
+            )
+
+    @property
+    def end_cycle(self) -> float:
+        return self.start_cycle + self.duration_cycles
+
+    def active(self, now_cycles: float) -> bool:
+        """True while ``now_cycles`` falls inside this window."""
+        return self.start_cycle <= now_cycles < self.end_cycle
+
+
+@dataclass
+class FaultPlan:
+    """An immutable-in-spirit schedule of fault events.
+
+    Build one directly from events, or compile injectors::
+
+        plan = FaultPlan.compile(
+            [NoisyNeighborInjector(bursts=2), CounterGlitchInjector()],
+            horizon_cycles=20e6, seed=42,
+        )
+    """
+
+    seed: int = 0
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: (e.start_cycle, e.kind))
+
+    @classmethod
+    def compile(
+        cls, injectors: Iterable, horizon_cycles: float, seed: int = 0
+    ) -> "FaultPlan":
+        """Expand ``injectors`` into a concrete schedule over ``horizon_cycles``.
+
+        Each injector draws from its own child stream derived from
+        ``(seed, kind, salt)``, so adding one injector never perturbs the
+        windows another one generates.
+        """
+        if horizon_cycles <= 0:
+            raise ConfigError("fault horizon must be positive")
+        events: list[FaultEvent] = []
+        for inj in injectors:
+            rng = make_rng(stable_seed(seed, inj.kind, getattr(inj, "salt", 0)))
+            events.extend(inj.events(horizon_cycles, rng))
+        return cls(seed=seed, events=events)
+
+    # -- queries ------------------------------------------------------------------
+
+    def active(self, kind: str, now_cycles: float) -> list[FaultEvent]:
+        """Every event of ``kind`` whose window covers ``now_cycles``."""
+        return [e for e in self.events if e.kind == kind and e.active(now_cycles)]
+
+    def first_active(self, kind: str, now_cycles: float) -> FaultEvent | None:
+        """The earliest-starting active event of ``kind``, or None."""
+        for e in self.events:
+            if e.kind == kind and e.active(now_cycles):
+                return e
+        return None
+
+    def kinds(self) -> set[str]:
+        """The set of fault kinds this plan schedules."""
+        return {e.kind for e in self.events}
+
+    @property
+    def horizon_cycles(self) -> float:
+        """Cycle at which the last scheduled window closes."""
+        return max((e.end_cycle for e in self.events), default=0.0)
+
+    def describe(self) -> str:
+        """Human-readable schedule (one line per event)."""
+        lines = [f"# fault plan (seed={self.seed}, {len(self.events)} events)"]
+        for e in self.events:
+            lines.append(
+                f"{e.kind:16s} [{e.start_cycle / 1e6:8.2f}M, {e.end_cycle / 1e6:8.2f}M) "
+                f"mag={e.magnitude:g} core={e.core}"
+            )
+        return "\n".join(lines)

@@ -1,6 +1,5 @@
 """Scaling prediction/measurement, curve errors, table formatting."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (
@@ -16,7 +15,6 @@ from repro.errors import MeasurementError
 from repro.reference.cachesim import ReferencePoint
 from repro.reference.sweep import ReferenceCurve
 from repro.units import MB
-from repro.workloads import make_benchmark
 from repro.workloads.micro import random_micro
 
 

@@ -82,3 +82,45 @@ def test_steal_command_tiny():
     rc = main(["steal", "povray", "--interval", "60000"], out=out)
     assert rc == 0
     assert "max stealable" in out.text
+    assert "att" in out.text  # the attempts column
+
+
+def test_curve_command_prints_quality_column():
+    out = Sink()
+    rc = main(
+        ["curve", "povray", "--sizes", "8.0,2.0", "--total", "1200000",
+         "--interval", "100000"],
+        out=out,
+    )
+    assert rc == 0
+    assert "quality" in out.text and "att" in out.text
+    assert "quality: 2 points" in out.text
+
+
+@pytest.mark.parametrize(
+    "argv,fragment",
+    [
+        (["curve", "povray", "--sizes", "0"], "must be positive"),
+        (["curve", "povray", "--sizes", "-2.0"], "must be positive"),
+        (["curve", "povray", "--sizes", "junk"], "not a number"),
+        (["curve", "povray", "--sizes", "9.5"], "exceeds the 8MB L3"),
+        (["curve", "povray", "--sizes", ","], "at least one size"),
+        (["curve", "povray", "--total", "-5"], "--total must be positive"),
+        (["curve", "povray", "--interval", "0"], "--interval must be positive"),
+        (["curve", "povray", "--retries", "-1"], "--retries must be >= 0"),
+        (["steal", "povray", "--threads", "0"], "--threads must be >= 1"),
+        (["steal", "povray", "--interval", "-1"], "--interval must be positive"),
+        (["probe", "povray", "--max-threads", "0"], "--max-threads must be >= 1"),
+        (["bandwidth", "povray", "--gaps", "junk"], "--gaps"),
+        (["bandwidth", "povray", "--gaps", "-3"], "must be positive"),
+        (["bandwidth", "povray", "--gaps", ","], "at least one"),
+        (["reuse", "povray", "--window", "0"], "--window must be positive"),
+        (["reuse", "povray", "--sizes", "nan_mb"], "not a number"),
+    ],
+)
+def test_bad_arguments_fail_fast_with_one_line_error(argv, fragment):
+    out = Sink()
+    assert main(argv, out=out) == 2
+    assert len(out.lines) == 1
+    assert out.lines[0].startswith("error: ")
+    assert fragment in out.lines[0]

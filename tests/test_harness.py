@@ -6,7 +6,6 @@ intervals; they check mechanism, not calibration.
 
 import pytest
 
-from repro.config import nehalem_config
 from repro.errors import MeasurementError
 from repro.units import MB
 from repro.workloads import make_benchmark
@@ -78,6 +77,29 @@ def test_measure_curve_fixed():
 def test_measure_curve_fixed_requires_factory():
     with pytest.raises(MeasurementError):
         measure_curve_fixed(random_micro(2.0), [8.0])
+
+
+def test_measure_curve_fixed_instantiates_one_target_per_size():
+    # the benchmark name is resolved once up front, not by building a
+    # throwaway target per sweep size
+    calls = 0
+
+    def counting_factory():
+        nonlocal calls
+        calls += 1
+        return random_micro(1.0, seed=3)
+
+    measure_curve_fixed(
+        counting_factory, [8.0, 4.0], interval_instructions=60_000, n_intervals=1
+    )
+    assert calls == 3  # one for the name + one per size
+
+    calls = 0
+    measure_curve_fixed(
+        counting_factory, [8.0, 4.0],
+        benchmark="named", interval_instructions=60_000, n_intervals=1,
+    )
+    assert calls == 2  # explicit name: exactly one per size
 
 
 # ------------------------------------------------------------------ dynamic

@@ -5,7 +5,6 @@ import pytest
 
 from repro.caches.hierarchy import CacheHierarchy
 from repro.config import CacheConfig, MachineConfig
-from repro.units import KB
 
 
 def small_machine(prefetch=False, l3_ways=4, l3_sets=8, num_cores=2, l3_policy="lru"):

@@ -5,7 +5,6 @@ import pytest
 
 from repro.config import tiny_config, nehalem_config
 from repro.hardware.machine import Machine
-from repro.hardware.thread import SimThread
 
 
 class ToyWorkload:

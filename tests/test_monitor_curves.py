@@ -55,6 +55,23 @@ def test_monitor_threshold_validation():
         PirateMonitor(p, threshold=1.5)
 
 
+def test_verdict_at_threshold_boundary_is_trustworthy():
+    # the §III-B2 rule is "fetch ratio <= threshold", inclusive
+    v = MonitorVerdict(fetch_ratio=0.03, threshold=0.03)
+    assert v.trustworthy
+    v_above = MonitorVerdict(fetch_ratio=0.03 + 1e-12, threshold=0.03)
+    assert not v_above.trustworthy
+
+
+def test_verdict_with_zero_threshold():
+    # threshold=0 demands a perfectly resident Pirate: only a 0.0 fetch
+    # ratio passes, and the resident-fraction bound stays exact
+    assert MonitorVerdict(fetch_ratio=0.0, threshold=0.0).trustworthy
+    v = MonitorVerdict(fetch_ratio=1e-9, threshold=0.0)
+    assert not v.trustworthy
+    assert v.resident_fraction_lower_bound == pytest.approx(1.0)
+
+
 # ----------------------------------------------------------------- curves
 
 
@@ -97,6 +114,34 @@ def test_validity_requires_all_intervals_valid():
     )
     assert not curve.points[0].valid
     assert curve.valid_points() == []
+
+
+def test_mixed_validity_aggregation_keeps_every_point():
+    # one poisoned size must not hide the healthy ones — and must itself
+    # survive as a visible valid=False point rather than being dropped
+    samples = [
+        sample(2.0, cpi=3.0, valid=True),
+        sample(4.0, cpi=2.0, valid=False, pirate_fr=0.08),
+        sample(8.0, cpi=1.0, valid=True),
+    ]
+    curve = PerformanceCurve.from_samples("t", samples, 2.26e9)
+    assert len(curve.points) == 3
+    valid = curve.valid_points()
+    assert [p.cache_mb for p in valid] == [2.0, 8.0]
+    bad = [p for p in curve.points if not p.valid][0]
+    assert bad.cache_mb == 4.0
+    assert bad.pirate_fetch_ratio == pytest.approx(0.08)
+
+
+def test_fixed_size_result_all_valid():
+    from repro.core.harness import FixedSizeResult
+
+    r = FixedSizeResult(target_cache_bytes=4 * MB, stolen_bytes=4 * MB)
+    assert r.all_valid  # vacuously true with no samples
+    r.samples.append(sample(4.0, valid=True))
+    assert r.all_valid
+    r.samples.append(sample(4.0, valid=False))
+    assert not r.all_valid
 
 
 def test_interpolation():

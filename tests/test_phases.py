@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.phases import Phase, detect_phases, phase_report
+from repro.analysis.phases import detect_phases, phase_report
 from repro.core.curves import IntervalSample
 from repro.errors import MeasurementError
 from repro.hardware.counters import CounterSample

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.config import nehalem_config, tiny_config
+from repro.config import nehalem_config
 from repro.errors import ConfigError
 from repro.hardware.machine import Machine
 from repro.core.pirate import Pirate, PirateThreadWorkload

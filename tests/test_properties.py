@@ -7,13 +7,11 @@ from hypothesis import strategies as st
 
 from repro.caches.hierarchy import CacheHierarchy
 from repro.caches.setassoc import LRUCache, NRUCache, PLRUCache
-from repro.config import CacheConfig, MachineConfig, tiny_config
+from repro.config import CacheConfig, MachineConfig
 from repro.hardware.counters import CounterSample
 
 
 def tiny_hierarchy(l3_ways=4, l3_sets=4, cores=2, private_data=True):
-    from dataclasses import replace
-
     cfg = MachineConfig(
         num_cores=cores,
         l1=CacheConfig("L1", 2 * 64 * 2, 2, policy="plru"),

@@ -3,12 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.config import nehalem_config
 from repro.errors import TraceError
 from repro.reference import apply_offset, reference_curve, simulate_trace
 from repro.reference.calibrate import calibrate_offset, measure_baseline_fetch_ratio
 from repro.reference.cachesim import single_core_config
-from repro.tracing import AddressTrace, capture_trace
+from repro.tracing import AddressTrace
 from repro.units import MB
 from repro.workloads.micro import random_micro, sequential_micro
 

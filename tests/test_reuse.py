@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.analysis.reuse import COLD, reuse_distances, reuse_profile
 from repro.errors import TraceError
 from repro.tracing import AddressTrace
-from repro.units import MB
 from repro.workloads.micro import random_micro, sequential_micro
 
 
