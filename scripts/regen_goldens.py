@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Regenerate the golden-regression fixtures in tests/goldens/.
+
+Run from the repository root after any *intentional* change to measured
+numbers (new seed derivation, simulator fix, counter semantics):
+
+    python scripts/regen_goldens.py
+
+then review the diff — every changed number should be explainable by the
+change you made.  ``tests/test_golden.py`` compares against these files
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+from tests.golden_scenarios import SCENARIOS  # noqa: E402
+
+
+def main() -> int:
+    out_dir = REPO / "tests" / "goldens"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for stem, build in SCENARIOS.items():
+        path = out_dir / f"{stem}.json"
+        payload = build()
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

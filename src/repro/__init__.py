@@ -41,7 +41,9 @@ from .errors import (
 from .hardware import CounterSample, Machine
 from .workloads import (
     BENCHMARK_NAMES,
+    TargetSpec,
     benchmark_spec,
+    benchmark_target,
     make_benchmark,
     make_cigar,
     random_micro,
@@ -56,13 +58,18 @@ from .core import (
     Pirate,
     PointQuality,
     RetryPolicy,
+    SweepCache,
+    SweepSpec,
     choose_pirate_threads,
+    derive_point_seed,
     measure_between_markers,
     measure_curve_dynamic,
     measure_curve_fixed,
     measure_curve_resilient,
     measure_fixed_size,
     measure_point_resilient,
+    parallel_map,
+    run_sweep,
 )
 from .faults import (
     CounterGlitchInjector,
@@ -109,6 +116,8 @@ __all__ = [
     "make_cigar",
     "random_micro",
     "sequential_micro",
+    "TargetSpec",
+    "benchmark_target",
     # the technique
     "DEFAULT_FETCH_RATIO_THRESHOLD",
     "Pirate",
@@ -120,6 +129,12 @@ __all__ = [
     "measure_curve_dynamic",
     "measure_between_markers",
     "choose_pirate_threads",
+    # parallel sweep execution
+    "SweepSpec",
+    "SweepCache",
+    "derive_point_seed",
+    "run_sweep",
+    "parallel_map",
     # resilience & fault injection
     "RetryPolicy",
     "PartialCurve",

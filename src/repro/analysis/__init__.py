@@ -11,6 +11,8 @@ and a fully-associative-LRU miss model (the paper's ref [6] lineage).
 :mod:`repro.analysis.phases` detects program phases from measurement
 intervals — the §II-C1 validity check for dynamic pirating.
 :mod:`repro.analysis.plot` renders curves as ASCII charts.
+:mod:`repro.analysis.merge` re-orders out-of-order parallel sweep results
+into deterministic curves, preserving per-point quality metadata.
 """
 
 from .scaling import (
@@ -29,6 +31,7 @@ from .report import (
 from .reuse import ReuseProfile, reuse_distances, reuse_profile
 from .plot import ascii_plot
 from .phases import Phase, PhaseReport, detect_phases, phase_report
+from .merge import assemble_curve, merge_point_results, ordered_results
 
 __all__ = [
     "ScalingPrediction",
@@ -49,4 +52,7 @@ __all__ = [
     "PhaseReport",
     "detect_phases",
     "phase_report",
+    "assemble_curve",
+    "merge_point_results",
+    "ordered_results",
 ]

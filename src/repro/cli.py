@@ -10,6 +10,9 @@ The tool a user of the real Cache Pirate would have been handed:
 * ``bandwidth BENCH`` — the Bandwidth Bandit extension: CPI vs available
   off-chip bandwidth,
 * ``reuse BENCH`` — reuse-distance profile and model-predicted miss curve,
+* ``sweep BENCH`` — the fixed-size baseline sweep through the parallel
+  executor: ``--workers N`` fans points over a process pool, ``--cache-dir``
+  makes re-runs skip completed points,
 * ``experiments`` — regenerate the paper's tables/figures (see
   ``repro.experiments.runall``).
 """
@@ -18,28 +21,27 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
 
 from .analysis.plot import plot_performance_curve
 from .analysis.report import format_quality_report
 from .analysis.reuse import reuse_profile
 from .config import nehalem_config
-from .core import choose_pirate_threads, measure_curve_dynamic
+from .core import choose_pirate_threads, measure_curve_dynamic, measure_curve_fixed
 from .core.bandit import measure_bandwidth_curve
-from .core.resilience import RetryPolicy, measure_point_resilient
+from .core.resilience import PartialCurve, RetryPolicy, measure_point_resilient
 from .tracing import capture_trace
 from .units import MB
-from .workloads import BENCHMARK_NAMES, benchmark_spec, make_benchmark, make_cigar
+from .workloads import BENCHMARK_NAMES, TargetSpec, benchmark_spec, benchmark_target
 
 
 class _CLIError(Exception):
     """A bad command-line argument; rendered as one clean error line."""
 
 
-def _factory(name: str, seed: int) -> Callable:
-    if name == "cigar":
-        return lambda: make_cigar(seed=seed)
-    return lambda: make_benchmark(name, seed=seed)
+def _factory(name: str, seed: int) -> TargetSpec:
+    # a picklable spec, not a closure: every command's factory can cross a
+    # process-pool boundary and key the sweep result cache
+    return benchmark_target(name, seed=seed)
 
 
 def _parse_sizes(text: str, *, what: str = "--sizes", max_mb: float | None = None) -> list[float]:
@@ -198,12 +200,46 @@ def cmd_reuse(args, out=print) -> int:
     return 0
 
 
+def cmd_sweep(args, out=print) -> int:
+    sizes = _parse_sizes(args.sizes)
+    _require_positive(args.interval, "--interval")
+    _require_nonneg_int(args.workers, "--workers")
+    _require_nonneg_int(args.retries, "--retries")
+    if args.intervals < 1:
+        raise _CLIError(f"--intervals must be >= 1, got {args.intervals}")
+    policy = RetryPolicy(max_attempts=args.retries + 1) if args.retries else None
+    curve = measure_curve_fixed(
+        _factory(args.benchmark, args.seed),
+        sizes,
+        benchmark=args.benchmark,
+        interval_instructions=args.interval,
+        n_intervals=args.intervals,
+        seed=args.seed,
+        retry=policy,
+        workers=args.workers,
+        cache_dir=args.cache_dir or None,
+    )
+    out(curve.format_table())
+    if isinstance(curve, PartialCurve):
+        out(format_quality_report(curve))
+    if args.plot:
+        for metric in ("cpi", "bandwidth_gbps", "fetch_ratio"):
+            out("")
+            out(plot_performance_curve(curve, metric))
+    return 0
+
+
 def cmd_experiments(args, out=print) -> int:
     from .experiments.runall import main as runall_main
 
+    _require_nonneg_int(args.workers if args.workers is not None else 0, "--workers")
     argv = ["--scale", args.scale]
     if args.only:
         argv += ["--only", args.only]
+    if args.workers is not None:
+        argv += ["--workers", str(args.workers)]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
     return runall_main(argv)
 
 
@@ -260,9 +296,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(fn=cmd_reuse)
 
+    p = sub.add_parser(
+        "sweep", help="fixed-size baseline sweep (parallel executor + result cache)"
+    )
+    p.add_argument("benchmark")
+    p.add_argument("--sizes", default="8.0,6.0,4.0,2.0,1.0,0.5")
+    p.add_argument("--interval", type=float, default=1e6)
+    p.add_argument("--intervals", type=int, default=2,
+                   help="measurement intervals per sweep point")
+    p.add_argument("--workers", type=int, default=0,
+                   help="process fan-out for the sweep's points (0 = serial)")
+    p.add_argument("--cache-dir", default="",
+                   help="persist completed points here; re-runs skip them")
+    p.add_argument("--plot", action="store_true")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--retries", type=int, default=0,
+        help="re-measurements allowed per invalid point (0 disables the retry engine)",
+    )
+    p.set_defaults(fn=cmd_sweep)
+
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("--scale", choices=("quick", "full"), default="quick")
     p.add_argument("--only", default="")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process fan-out for parallelizable experiments")
+    p.add_argument("--cache-dir", default="",
+                   help="sweep result cache directory")
     p.set_defaults(fn=cmd_experiments)
 
     return parser

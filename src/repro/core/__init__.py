@@ -23,7 +23,11 @@ paper describes it, on top of the simulated machine:
 * :mod:`repro.core.resilience` — the retry/recovery engine: invalid or
   implausible intervals are re-measured with escalating warm-up, unmeasured
   settle co-runs and (last resort) degraded steal sizes, yielding a
-  :class:`~repro.core.resilience.PartialCurve` with per-point quality.
+  :class:`~repro.core.resilience.PartialCurve` with per-point quality,
+* :mod:`repro.core.parallel` — the parallel sweep executor: independent
+  ``(target, cache_size)`` points fanned out over a process pool with
+  deterministic per-point seeds and an on-disk result cache, bit-identical
+  to serial execution for any worker count.
 """
 
 from .curves import IntervalSample, PerformanceCurve
@@ -50,6 +54,18 @@ from .resilience import (
     interval_sanity,
     measure_curve_resilient,
     measure_point_resilient,
+)
+from .parallel import (
+    PointResult,
+    SweepCache,
+    SweepPoint,
+    SweepSpec,
+    SweepStats,
+    derive_point_seed,
+    measure_sweep_point,
+    parallel_map,
+    point_cache_key,
+    run_sweep,
 )
 
 __all__ = [
@@ -85,4 +101,14 @@ __all__ = [
     "interval_sanity",
     "measure_point_resilient",
     "measure_curve_resilient",
+    "SweepSpec",
+    "SweepPoint",
+    "SweepStats",
+    "SweepCache",
+    "PointResult",
+    "derive_point_seed",
+    "point_cache_key",
+    "measure_sweep_point",
+    "run_sweep",
+    "parallel_map",
 ]

@@ -18,7 +18,6 @@ from ..errors import MeasurementError
 from ..faults.controller import as_controller
 from ..hardware.machine import Machine
 from ..hardware.thread import SimThread, WorkloadLike
-from ..units import MB
 from .curves import IntervalSample, PerformanceCurve
 from .monitor import DEFAULT_FETCH_RATIO_THRESHOLD, PirateMonitor
 from .pirate import Pirate
@@ -161,6 +160,8 @@ def measure_curve_fixed(
     quantum: float | None = None,
     retry=None,
     fault_plan=None,
+    workers: int = 0,
+    cache_dir=None,
 ) -> PerformanceCurve:
     """The expensive baseline: one fixed-size execution per cache size.
 
@@ -168,50 +169,41 @@ def measure_curve_fixed(
     complement of each.  Used as ground truth for validating the dynamic
     method (Table III) and wherever a single size is all that is needed.
 
+    Every point is an independent task with its own machine and a seed
+    derived from ``seed`` and the point's size
+    (:func:`~repro.core.parallel.derive_point_seed`).  ``workers >= 2``
+    fans the points out over a process pool — the curve is bit-identical
+    to a serial run for any worker count; ``cache_dir`` persists completed
+    points so repeated sweeps and crash re-runs skip them (see
+    :mod:`repro.core.parallel` for the cache-key semantics).
+
     Passing a :class:`~repro.core.resilience.RetryPolicy` as ``retry`` routes
-    the whole sweep through the retry engine and returns a
+    every point through the retry engine and returns a
     :class:`~repro.core.resilience.PartialCurve` with per-point quality.
     """
+    from ..analysis.merge import assemble_curve
+    from .parallel import SweepSpec, run_sweep
+
     config = config or nehalem_config()
     if not callable(target_factory):
         raise MeasurementError("measure_curve_fixed needs a factory for fresh targets")
-    if retry is not None:
-        from .resilience import measure_curve_resilient
-
-        return measure_curve_resilient(
-            target_factory,
-            sizes_mb,
-            benchmark=benchmark,
-            config=config,
-            policy=retry,
-            fault_plan=fault_plan,
-            num_pirate_threads=num_pirate_threads,
-            interval_instructions=interval_instructions,
-            n_intervals=n_intervals,
-            warmup_instructions=warmup_instructions,
-            threshold=threshold,
-            seed=seed,
-            quantum=quantum,
-        )
-    samples: list[IntervalSample] = []
     # resolve the benchmark name once, not once per sweep size
     name = benchmark if benchmark is not None else _make_target(target_factory).name
-    for size_mb in sizes_mb:
-        stolen = config.l3.size - int(size_mb * MB)
-        result = measure_fixed_size(
-            target_factory,
-            stolen,
-            config=config,
-            num_pirate_threads=num_pirate_threads,
-            interval_instructions=interval_instructions,
-            n_intervals=n_intervals,
-            warmup_instructions=warmup_instructions,
-            threshold=threshold,
-            seed=seed,
-            quantum=quantum,
-            fault_plan=fault_plan,
-        )
-        samples.extend(result.samples)
-    return PerformanceCurve.from_samples(
-        name or "target", samples, config.core.clock_hz
+    spec = SweepSpec(
+        target=target_factory,
+        benchmark=name or "target",
+        config=config,
+        num_pirate_threads=num_pirate_threads,
+        interval_instructions=interval_instructions,
+        n_intervals=n_intervals,
+        warmup_instructions=warmup_instructions,
+        threshold=threshold,
+        quantum=quantum,
+        seed=seed,
+        retry=retry,
+        fault_plan=fault_plan,
     )
+    results, _ = run_sweep(
+        spec, list(sizes_mb), workers=workers, cache_dir=cache_dir
+    )
+    return assemble_curve(name or "target", results, config.core.clock_hz)

@@ -1,0 +1,472 @@
+"""Parallel sweep execution with deterministic result caching.
+
+A fixed-size sweep (§III-D) is embarrassingly parallel: every
+``(target, cache_size)`` point is one independent co-run on its own
+simulated machine.  This module fans those points out over a process pool
+and guarantees — by construction, and under test in
+``tests/test_parallel.py`` — that the assembled curve is *bit-identical* to
+a serial run:
+
+* every point is a pure function of a picklable :class:`SweepSpec` and
+  :class:`SweepPoint`; nothing is shared between tasks, and no task reads
+  global RNG state,
+* each point's machine seed comes from :func:`derive_point_seed`, keyed by
+  the run seed and the point's *content* (its stolen-bytes size), so the
+  derivation is spawn-safe and stable under reordering, sharding, and
+  worker-count changes,
+* out-of-order completions are merged back into ordered curves by
+  :mod:`repro.analysis.merge`, preserving per-point
+  :class:`~repro.core.resilience.PointQuality` metadata when the sweep
+  runs through the retry engine.
+
+Completed points can be persisted in a :class:`SweepCache`: an on-disk
+store keyed by a content hash of the *full* measurement configuration
+(machine spec, workload spec, schedule, fault plan, retry policy, point).
+Repeated sweeps and re-runs after a crash skip every point already on
+disk — the cache-hit path does zero measurements.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field, fields
+from multiprocessing import get_all_start_methods, get_context
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..config import MachineConfig
+from ..errors import MeasurementError
+from ..faults.plan import FaultPlan
+from ..hardware.counters import CounterSample
+from ..rng import stable_seed
+from ..units import MB
+from .curves import IntervalSample
+from .monitor import DEFAULT_FETCH_RATIO_THRESHOLD
+from .resilience import PointQuality, RetryPolicy
+
+#: Bump when the on-disk cache entry layout changes; part of every cache key.
+CACHE_FORMAT_VERSION = 1
+
+
+def derive_point_seed(run_seed: int, stolen_bytes: int) -> int:
+    """Machine seed for one sweep point.
+
+    Keyed by the point's content (its stolen size), never its position in
+    the size list or any global RNG state, so the same point gets the same
+    seed no matter how the sweep is ordered, chunked, or sharded across
+    workers — and no matter whether workers are forked or spawned.
+    """
+    return stable_seed(run_seed, "sweep-point", int(stolen_bytes))
+
+
+def default_chunksize(n_points: int, workers: int) -> int:
+    """Points per pool task: ~4 chunks per worker, at least one point each.
+
+    Small enough to keep all workers busy through the sweep's tail, large
+    enough that task dispatch is not the bottleneck on big grids.
+    """
+    if n_points <= 0 or workers <= 1:
+        return max(n_points, 1)
+    return max(1, -(-n_points // (workers * 4)))
+
+
+def default_mp_context():
+    """Fork where the platform offers it (cheap), spawn otherwise.
+
+    Either way task results are identical: points are pure functions of
+    their pickled arguments, so the start method only affects startup cost.
+    """
+    methods = get_all_start_methods()
+    return get_context("fork" if "fork" in methods else "spawn")
+
+
+# -- task specifications -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Everything one worker needs to measure any point of a sweep.
+
+    ``target`` is a zero-argument workload factory.  Serial (in-process)
+    execution accepts any callable; pooled execution requires it to pickle
+    (use :class:`~repro.workloads.target.TargetSpec`), and the result cache
+    additionally requires a ``token()`` method so entries can be keyed by
+    workload content.
+    """
+
+    target: Callable
+    benchmark: str
+    config: MachineConfig
+    num_pirate_threads: int = 1
+    interval_instructions: float = 1_000_000.0
+    n_intervals: int = 2
+    warmup_instructions: float | None = None
+    threshold: float = DEFAULT_FETCH_RATIO_THRESHOLD
+    quantum: float | None = None
+    seed: int = 0
+    retry: RetryPolicy | None = None
+    fault_plan: FaultPlan | None = None
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent measurement task: a target cache size plus its seed."""
+
+    index: int
+    size_mb: float
+    stolen_bytes: int
+    seed: int
+
+
+@dataclass
+class PointResult:
+    """Outcome of one sweep point, cache- and pickle-round-trippable.
+
+    ``stolen_bytes``/``target_cache_bytes`` reflect what was *measured*,
+    which differs from the request when the retry engine degraded the
+    point to the nearest achievable steal size.
+    """
+
+    index: int
+    size_mb: float
+    stolen_bytes: int
+    target_cache_bytes: int
+    seed: int
+    samples: list[IntervalSample]
+    quality: PointQuality | None = None
+    from_cache: bool = False
+
+
+@dataclass
+class SweepStats:
+    """Where a sweep's points came from."""
+
+    measured: int = 0
+    cache_hits: int = 0
+    workers: int = 0
+    chunks: int = 0
+
+
+def sweep_points(spec: SweepSpec, sizes_mb: Sequence[float]) -> list[SweepPoint]:
+    """The sweep's task list, one point per requested size."""
+    if not sizes_mb:
+        raise MeasurementError("need at least one cache size")
+    points = []
+    for i, size_mb in enumerate(sizes_mb):
+        stolen = spec.config.l3.size - int(size_mb * MB)
+        if not 0 <= stolen <= spec.config.l3.size:
+            raise MeasurementError(
+                f"cannot leave the Target {size_mb}MB of a "
+                f"{spec.config.l3.size / MB:g}MB L3"
+            )
+        points.append(
+            SweepPoint(
+                index=i,
+                size_mb=size_mb,
+                stolen_bytes=stolen,
+                seed=derive_point_seed(spec.seed, stolen),
+            )
+        )
+    return points
+
+
+# -- the per-point task (module-level: must pickle by reference) -------------------
+
+
+def measure_sweep_point(spec: SweepSpec, point: SweepPoint) -> PointResult:
+    """Measure one point.  Pure: no shared state, no global RNG."""
+    from .harness import measure_fixed_size
+    from .resilience import measure_point_resilient
+
+    if spec.retry is not None:
+        result, quality = measure_point_resilient(
+            spec.target,
+            point.stolen_bytes,
+            config=spec.config,
+            policy=spec.retry,
+            fault_plan=spec.fault_plan,
+            num_pirate_threads=spec.num_pirate_threads,
+            interval_instructions=spec.interval_instructions,
+            n_intervals=spec.n_intervals,
+            warmup_instructions=spec.warmup_instructions,
+            threshold=spec.threshold,
+            seed=point.seed,
+            quantum=spec.quantum,
+        )
+        return PointResult(
+            index=point.index,
+            size_mb=point.size_mb,
+            stolen_bytes=result.stolen_bytes,
+            target_cache_bytes=result.target_cache_bytes,
+            seed=point.seed,
+            samples=result.samples,
+            quality=quality,
+        )
+    result = measure_fixed_size(
+        spec.target,
+        point.stolen_bytes,
+        config=spec.config,
+        num_pirate_threads=spec.num_pirate_threads,
+        interval_instructions=spec.interval_instructions,
+        n_intervals=spec.n_intervals,
+        warmup_instructions=spec.warmup_instructions,
+        threshold=spec.threshold,
+        seed=point.seed,
+        quantum=spec.quantum,
+        fault_plan=spec.fault_plan,
+    )
+    return PointResult(
+        index=point.index,
+        size_mb=point.size_mb,
+        stolen_bytes=result.stolen_bytes,
+        target_cache_bytes=result.target_cache_bytes,
+        seed=point.seed,
+        samples=result.samples,
+    )
+
+
+def _measure_chunk(spec: SweepSpec, chunk: list[SweepPoint]) -> list[PointResult]:
+    """One pool task: a batch of points (the chunking policy's unit)."""
+    return [measure_sweep_point(spec, p) for p in chunk]
+
+
+# -- deterministic result cache ----------------------------------------------------
+
+
+def _fault_plan_token(plan: FaultPlan | None) -> object:
+    if plan is None:
+        return None
+    return {"seed": plan.seed, "events": [asdict(e) for e in plan.events]}
+
+
+def spec_token(spec: SweepSpec) -> dict:
+    """Canonical description of everything that can change a measurement.
+
+    Raises :class:`~repro.errors.MeasurementError` when the target factory
+    cannot be described by content (no ``token()``), because a cache keyed
+    by object identity would silently serve wrong results.
+    """
+    token_fn = getattr(spec.target, "token", None)
+    if token_fn is None:
+        raise MeasurementError(
+            "result caching needs a content-keyed target factory: pass a "
+            "repro.workloads.TargetSpec (or any factory with a token() method) "
+            "instead of a closure"
+        )
+    return {
+        "cache_format": CACHE_FORMAT_VERSION,
+        "machine": asdict(spec.config),
+        "workload": token_fn(),
+        "schedule": {
+            "num_pirate_threads": spec.num_pirate_threads,
+            "interval_instructions": spec.interval_instructions,
+            "n_intervals": spec.n_intervals,
+            "warmup_instructions": spec.warmup_instructions,
+            "threshold": spec.threshold,
+            "quantum": spec.quantum,
+        },
+        "retry": asdict(spec.retry) if spec.retry is not None else None,
+        "fault_plan": _fault_plan_token(spec.fault_plan),
+    }
+
+
+def point_cache_key(spec: SweepSpec, point: SweepPoint) -> str:
+    """Content hash naming one point's cache entry."""
+    token = spec_token(spec)
+    token["point"] = {"stolen_bytes": point.stolen_bytes, "seed": point.seed}
+    blob = json.dumps(token, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _sample_to_dict(s: IntervalSample) -> dict:
+    return {
+        "target_cache_bytes": s.target_cache_bytes,
+        "target": {f.name: getattr(s.target, f.name) for f in fields(CounterSample)},
+        "pirate_fetch_ratio": s.pirate_fetch_ratio,
+        "valid": s.valid,
+        "start_cycle": s.start_cycle,
+        "wall_cycles": s.wall_cycles,
+    }
+
+
+def _sample_from_dict(d: dict) -> IntervalSample:
+    return IntervalSample(
+        target_cache_bytes=d["target_cache_bytes"],
+        target=CounterSample(**d["target"]),
+        pirate_fetch_ratio=d["pirate_fetch_ratio"],
+        valid=d["valid"],
+        start_cycle=d["start_cycle"],
+        wall_cycles=d["wall_cycles"],
+    )
+
+
+class SweepCache:
+    """On-disk store of completed sweep points, one JSON file per key.
+
+    Writes are atomic (temp file + rename), so a sweep killed mid-write
+    never leaves a corrupt entry, and concurrent sweeps sharing a directory
+    never observe partial files.  Unreadable entries are treated as misses.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> PointResult | None:
+        """The cached result for ``key``, or None on a miss."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("cache_format") != CACHE_FORMAT_VERSION:
+            return None
+        q = payload["quality"]
+        return PointResult(
+            index=payload["index"],
+            size_mb=payload["size_mb"],
+            stolen_bytes=payload["stolen_bytes"],
+            target_cache_bytes=payload["target_cache_bytes"],
+            seed=payload["seed"],
+            samples=[_sample_from_dict(d) for d in payload["samples"]],
+            quality=PointQuality(**q) if q is not None else None,
+            from_cache=True,
+        )
+
+    def store(self, key: str, result: PointResult) -> None:
+        """Persist ``result`` under ``key`` atomically."""
+        payload = {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "index": result.index,
+            "size_mb": result.size_mb,
+            "stolen_bytes": result.stolen_bytes,
+            "target_cache_bytes": result.target_cache_bytes,
+            "seed": result.seed,
+            "samples": [_sample_to_dict(s) for s in result.samples],
+            "quality": asdict(result.quality) if result.quality is not None else None,
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+# -- the executor ------------------------------------------------------------------
+
+
+def _check_picklable(spec: SweepSpec) -> None:
+    try:
+        pickle.dumps(spec)
+    except Exception as e:
+        raise MeasurementError(
+            f"sweep spec does not pickle, so it cannot cross a worker "
+            f"boundary ({e}); pass a repro.workloads.TargetSpec instead of a "
+            f"lambda/closure, or run with workers=0"
+        ) from None
+
+
+def run_sweep(
+    spec: SweepSpec,
+    sizes_mb: Sequence[float],
+    *,
+    workers: int = 0,
+    cache_dir: str | Path | None = None,
+    chunksize: int | None = None,
+    mp_context=None,
+) -> tuple[list[PointResult], SweepStats]:
+    """Execute a sweep's points; returns (results, stats).
+
+    ``workers=0`` (or 1) runs the points in-process, in order; ``workers>=2``
+    fans them out over a process pool in chunks (``chunksize`` overrides the
+    default policy), harvesting completions out of order.  Either way each
+    point's result is identical — same spec, same derived seed, same pure
+    task function.  Results are returned in completion order; use
+    :func:`repro.analysis.merge.assemble_curve` (or sort by ``index``) to
+    order them.
+
+    With ``cache_dir`` set, points whose key is already on disk are loaded
+    instead of measured, and newly measured points are persisted — a
+    re-run after a crash resumes where it stopped.
+    """
+    if workers < 0:
+        raise MeasurementError(f"workers must be >= 0, got {workers}")
+    points = sweep_points(spec, sizes_mb)
+    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    stats = SweepStats(workers=workers)
+
+    results: list[PointResult] = []
+    pending: list[SweepPoint] = []
+    keys: dict[int, str] = {}
+    for p in points:
+        if cache is not None:
+            keys[p.index] = point_cache_key(spec, p)
+            hit = cache.load(keys[p.index])
+            if hit is not None:
+                results.append(hit)
+                stats.cache_hits += 1
+                continue
+        pending.append(p)
+
+    def record(result: PointResult) -> None:
+        results.append(result)
+        stats.measured += 1
+        if cache is not None:
+            cache.store(keys[result.index], result)
+
+    if workers >= 2 and len(pending) >= 2:
+        _check_picklable(spec)
+        chunk = chunksize if chunksize is not None else default_chunksize(
+            len(pending), workers
+        )
+        chunks = [pending[i : i + chunk] for i in range(0, len(pending), chunk)]
+        stats.chunks = len(chunks)
+        ctx = mp_context if mp_context is not None else default_mp_context()
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)), mp_context=ctx
+        ) as pool:
+            not_done = {pool.submit(_measure_chunk, spec, c) for c in chunks}
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    for result in fut.result():
+                        record(result)
+    else:
+        stats.chunks = 1 if pending else 0
+        for p in pending:
+            record(measure_sweep_point(spec, p))
+    return results, stats
+
+
+def parallel_map(fn: Callable, items: Sequence, *, workers: int = 0, mp_context=None) -> list:
+    """Order-preserving map over independent items, optionally in processes.
+
+    The coarse-grained sibling of :func:`run_sweep` for work that is one
+    indivisible task per item (e.g. one dynamic-pirating execution per
+    benchmark in Fig. 8).  ``fn`` and every item must pickle when
+    ``workers >= 2``; results come back in input order regardless of
+    completion order, so worker count never changes the output.
+    """
+    if workers < 0:
+        raise MeasurementError(f"workers must be >= 0, got {workers}")
+    items = list(items)
+    if workers < 2 or len(items) < 2:
+        return [fn(item) for item in items]
+    ctx = mp_context if mp_context is not None else default_mp_context()
+    with ProcessPoolExecutor(max_workers=min(workers, len(items)), mp_context=ctx) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        return [f.result() for f in futures]

@@ -31,7 +31,7 @@ and records the substitution, rather than raising.  Strict policies raise
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable
 
 from ..config import MachineConfig, nehalem_config
@@ -74,6 +74,18 @@ class RetryPolicy:
             raise MeasurementError("warm-up backoff must be >= 1")
         if self.degrade_step_mb < 0 or self.max_degrade_mb < 0:
             raise MeasurementError("degradation steps must be non-negative")
+
+    # Policies cross process boundaries when resilient sweeps fan out to
+    # pool workers; the pickled form is pinned to plain field data, and the
+    # invariants are re-checked on restore so a stale or hand-edited pickle
+    # cannot smuggle in an invalid budget.
+    def __getstate__(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        self.__post_init__()
 
     def warmup_for(self, base_instructions: float, attempt: int) -> float:
         """Warm-up length for ``attempt`` (exponential backoff)."""
@@ -429,6 +441,8 @@ def measure_curve_resilient(
     threshold: float = DEFAULT_FETCH_RATIO_THRESHOLD,
     seed: int = 0,
     quantum: float | None = None,
+    workers: int = 0,
+    cache_dir=None,
 ) -> PartialCurve:
     """A full fixed-size curve through the retry engine.
 
@@ -437,46 +451,35 @@ def measure_curve_resilient(
     nearest achievable size, and whatever could not be recovered survives as
     a ``valid=False`` point — all of it recorded per point in the returned
     :class:`PartialCurve`'s quality map.
-    """
-    from .harness import _make_target
 
-    config = config or nehalem_config()
-    policy = policy or RetryPolicy()
+    Delegates to :func:`~repro.core.harness.measure_curve_fixed` with the
+    policy installed, so resilient sweeps get the same parallel fan-out
+    (``workers``), deterministic per-point seeds, and result caching
+    (``cache_dir``) as plain ones — with quality metadata merged back in
+    point order even when workers complete out of order.
+    """
+    from .harness import DEFAULT_INTERVAL_INSTRUCTIONS, measure_curve_fixed
+
     if not callable(target_factory):
         raise MeasurementError("measure_curve_resilient needs a factory for fresh targets")
-    if not sizes_mb:
-        raise MeasurementError("need at least one cache size")
-    name = benchmark if benchmark is not None else _make_target(target_factory).name
-
-    samples: list[IntervalSample] = []
-    quality: dict[int, PointQuality] = {}
-    for size_mb in sizes_mb:
-        stolen = config.l3.size - int(size_mb * MB)
-        result, q = measure_point_resilient(
-            target_factory,
-            stolen,
-            config=config,
-            policy=policy,
-            fault_plan=fault_plan,
-            num_pirate_threads=num_pirate_threads,
-            interval_instructions=interval_instructions,
-            n_intervals=n_intervals,
-            warmup_instructions=warmup_instructions,
-            threshold=threshold,
-            seed=seed,
-            quantum=quantum,
-        )
-        samples.extend(result.samples)
-        key = result.target_cache_bytes
-        if key in quality:
-            # two requested sizes degraded onto the same measured size
-            prior = quality[key]
-            prior.attempts += q.attempts
-            prior.reasons.extend(q.reasons)
-            prior.reasons.append(f"merged_request_{q.requested_mb:.1f}MB")
-            prior.valid = prior.valid and q.valid
-        else:
-            quality[key] = q
-    curve = PartialCurve.from_samples(name, samples, config.core.clock_hz)
-    curve.quality = quality
-    return curve
+    return measure_curve_fixed(
+        target_factory,
+        list(sizes_mb),
+        benchmark=benchmark,
+        config=config,
+        num_pirate_threads=num_pirate_threads,
+        interval_instructions=(
+            interval_instructions
+            if interval_instructions is not None
+            else DEFAULT_INTERVAL_INSTRUCTIONS
+        ),
+        n_intervals=n_intervals,
+        warmup_instructions=warmup_instructions,
+        threshold=threshold,
+        seed=seed,
+        quantum=quantum,
+        retry=policy or RetryPolicy(),
+        fault_plan=fault_plan,
+        workers=workers,
+        cache_dir=cache_dir,
+    )

@@ -2,24 +2,22 @@
 
 from __future__ import annotations
 
-from typing import Callable
-
 from ..config import MachineConfig, nehalem_config
 from ..core import measure_curve_dynamic
 from ..core.curves import PerformanceCurve
-from ..hardware.thread import WorkloadLike
 from ..rng import stable_seed
-from ..workloads import make_benchmark, make_cigar
+from ..workloads import TargetSpec, benchmark_target
 from .scale import Scale
 
 
-def benchmark_factory(
-    name: str, *, instance: int = 0, seed: int = 0
-) -> Callable[[], WorkloadLike]:
-    """Factory for suite benchmarks plus the cigar application."""
-    if name == "cigar":
-        return lambda: make_cigar(instance=instance, seed=seed)
-    return lambda: make_benchmark(name, instance=instance, seed=seed)
+def benchmark_factory(name: str, *, instance: int = 0, seed: int = 0) -> TargetSpec:
+    """Factory for suite benchmarks plus the cigar application.
+
+    Returns a picklable :class:`~repro.workloads.target.TargetSpec` (itself
+    a zero-arg factory) rather than a closure, so every experiment factory
+    can cross a process-pool boundary and key the sweep result cache.
+    """
+    return benchmark_target(name, instance=instance, seed=seed)
 
 
 def dynamic_curve(

@@ -13,7 +13,6 @@ the threshold.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
 from ..core import measure_curve_fixed
 from ..core.curves import PerformanceCurve
@@ -22,7 +21,7 @@ from ..reference import apply_offset, reference_curve
 from ..reference.sweep import ReferenceCurve
 from ..rng import stable_seed
 from ..tracing import AddressTrace
-from ..workloads.micro import random_micro, sequential_micro
+from ..workloads import TargetSpec
 from .scale import QUICK, Scale
 
 #: working-set size of both micro benchmarks (MB)
@@ -88,17 +87,34 @@ def _capture(workload: WorkloadLike, n_lines: int) -> AddressTrace:
     )
 
 
-def run(scale: Scale = QUICK, seed: int = 0) -> Fig4Result:
-    """Measure both micro benchmarks the three ways of Fig. 4."""
+def run(
+    scale: Scale = QUICK,
+    seed: int = 0,
+    *,
+    workers: int | None = None,
+    cache_dir=None,
+    working_set_mb: float = WORKING_SET_MB,
+) -> Fig4Result:
+    """Measure both micro benchmarks the three ways of Fig. 4.
+
+    ``workers``/``cache_dir`` feed the parallel sweep executor under each
+    ``measure_curve_fixed`` call (default workers: the scale's
+    ``max_workers``); the factories are picklable
+    :class:`~repro.workloads.target.TargetSpec`\\ s so points can fan out.
+    """
+    if workers is None:
+        workers = scale.max_workers
     comparisons = []
-    micro_factories: list[tuple[str, Callable[[], WorkloadLike]]] = [
-        ("random", lambda: random_micro(WORKING_SET_MB, seed=stable_seed(seed, "r"))),
-        ("sequential", lambda: sequential_micro(WORKING_SET_MB, seed=stable_seed(seed, "s"))),
+    micro_factories: list[tuple[str, TargetSpec]] = [
+        ("random", TargetSpec(kind="micro.random", working_set_mb=working_set_mb,
+                              seed=stable_seed(seed, "r"))),
+        ("sequential", TargetSpec(kind="micro.sequential", working_set_mb=working_set_mb,
+                                  seed=stable_seed(seed, "s"))),
     ]
     # both the trace replay and the pirate co-run must reach steady state:
     # the 4MB working set is 65536 lines, so traces cover it several times
     # and references discard a half-trace warm-up
-    ws_lines = int(WORKING_SET_MB * 1024 * 1024 / 64)
+    ws_lines = int(working_set_mb * 1024 * 1024 / 64)
     trace_lines = max(scale.trace_lines, 4 * ws_lines)
     for name, factory in micro_factories:
         pirate = measure_curve_fixed(
@@ -109,6 +125,8 @@ def run(scale: Scale = QUICK, seed: int = 0) -> Fig4Result:
             n_intervals=1,
             warmup_instructions=4 * ws_lines / factory().mem_fraction,
             seed=stable_seed(seed, name, "pirate"),
+            workers=workers,
+            cache_dir=cache_dir,
         )
         trace = _capture(factory(), trace_lines)
         lru = reference_curve(

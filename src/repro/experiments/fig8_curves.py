@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.curves import PerformanceCurve
+from ..core.parallel import parallel_map
 from .common import dynamic_curve
 from .scale import QUICK, Scale
 
@@ -39,9 +40,24 @@ class Fig8Result:
         return pts[0].cpi / pts[-1].cpi if pts[-1].cpi else 0.0
 
 
-def run(scale: Scale = QUICK, seed: int = 0) -> Fig8Result:
-    """Capture the §IV curve gallery with one dynamic run per benchmark."""
+def _curve_job(job: tuple[str, Scale, int]) -> tuple[str, PerformanceCurve]:
+    """One benchmark's dynamic run (module-level so the pool can pickle it)."""
+    name, scale, seed = job
+    return name, dynamic_curve(name, scale, seed=seed)
+
+
+def run(scale: Scale = QUICK, seed: int = 0, *, workers: int | None = None) -> Fig8Result:
+    """Capture the §IV curve gallery with one dynamic run per benchmark.
+
+    Each benchmark is an independent dynamic-pirating execution, so the
+    gallery fans out benchmark-per-task over a process pool when ``workers
+    >= 2`` (default: the scale's ``max_workers``).  Results are collected
+    in benchmark order, so the gallery is identical for any worker count.
+    """
+    if workers is None:
+        workers = scale.max_workers
     result = Fig8Result()
-    for name in scale.curve_benchmarks:
-        result.curves[name] = dynamic_curve(name, scale, seed=seed)
+    jobs = [(name, scale, seed) for name in scale.curve_benchmarks]
+    for name, curve in parallel_map(_curve_job, jobs, workers=workers):
+        result.curves[name] = curve
     return result

@@ -8,6 +8,7 @@ combined text report.  EXPERIMENTS.md is produced from a FULL-scale run.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -44,16 +45,36 @@ EXPERIMENTS = {
 }
 
 
+def _parallel_kwargs(module, workers: int | None, cache_dir: str | None) -> dict:
+    """The subset of {workers, cache_dir} a module's run() accepts.
+
+    Experiments opt into the parallel executor by signature; the rest run
+    unchanged, so fan-out flags never alter what gets measured.
+    """
+    params = inspect.signature(module.run).parameters
+    kwargs = {}
+    if workers is not None and "workers" in params:
+        kwargs["workers"] = workers
+    if cache_dir is not None and "cache_dir" in params:
+        kwargs["cache_dir"] = cache_dir
+    return kwargs
+
+
 def run_all(
     scale: Scale = QUICK,
     seed: int = 0,
     only: list[str] | None = None,
     *,
     echo=print,
+    workers: int | None = None,
+    cache_dir: str | None = None,
 ) -> dict[str, object]:
     """Run the selected experiments; returns {id: result}.
 
     ``fig7`` reuses ``fig6``'s comparisons when both are selected.
+    ``workers`` fans the parallelizable experiments' independent sweeps
+    over a process pool (None keeps each scale's ``max_workers`` default);
+    ``cache_dir`` lets their fixed-size sweeps resume from cached points.
     """
     selected = list(only) if only else list(EXPERIMENTS)
     unknown = set(selected) - set(EXPERIMENTS)
@@ -67,7 +88,8 @@ def run_all(
         if exp_id == "fig7" and "fig6" in results:
             result = fig7_errors.from_fig6(results["fig6"])
         else:
-            result = EXPERIMENTS[exp_id].run(scale, seed)
+            module = EXPERIMENTS[exp_id]
+            result = module.run(scale, seed, **_parallel_kwargs(module, workers, cache_dir))
         results[exp_id] = result
         echo(f"\n{'=' * 72}")
         echo(result.format())
@@ -81,7 +103,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--only", default="", help="comma-separated experiment ids")
     parser.add_argument("--out", default="", help="also write the report to this file")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process fan-out for parallelizable experiments "
+             "(default: the scale's max_workers; 0 forces serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default="",
+        help="persist sweep points here so re-runs skip completed points",
+    )
     args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 0:
+        parser.error("--workers must be >= 0")
     scale = FULL if args.scale == "full" else QUICK
     only = [s for s in args.only.split(",") if s] or None
 
@@ -91,7 +124,14 @@ def main(argv: list[str] | None = None) -> int:
         print(text)
         chunks.append(str(text))
 
-    run_all(scale, args.seed, only, echo=echo)
+    run_all(
+        scale,
+        args.seed,
+        only,
+        echo=echo,
+        workers=args.workers,
+        cache_dir=args.cache_dir or None,
+    )
     if args.out:
         with open(args.out, "w") as fh:
             fh.write("\n".join(chunks) + "\n")

@@ -47,6 +47,10 @@ class Scale:
     table3_intervals: tuple[tuple[str, float], ...]
     #: instructions per fixed-size measurement interval in sweeps
     fixed_interval_instructions: float = field(default=0.0)
+    #: default process fan-out for the experiments' independent sweeps
+    #: (0 = serial; ``runall --workers`` overrides).  Results are identical
+    #: for any value — parallelism only changes wall-clock time.
+    max_workers: int = field(default=0)
 
     def __post_init__(self) -> None:
         if not self.fixed_interval_instructions:
@@ -96,4 +100,7 @@ FULL = Scale(
     # floor (~0.5M instructions) so the gcc phase effect, not measurement
     # noise, dominates the error column — see DESIGN.md §6
     table3_intervals=(("10M", 500_000.0), ("100M", 1_000_000.0), ("1B", 5_000_000.0)),
+    # the FULL gallery is the wall-clock bottleneck of a paper replay; its
+    # sweeps are independent, so default to a modest pool
+    max_workers=4,
 )

@@ -39,6 +39,16 @@ class FaultInjector:
         self.at = list(at) if at is not None else None
         self.salt = salt
 
+    # Injectors ride inside fault plans shipped to pool workers, so their
+    # pickled form is made explicit: plain attribute data, nothing derived,
+    # no generator state (randomness always comes from the rng that
+    # :meth:`FaultPlan.compile` hands to :meth:`events`).
+    def __getstate__(self) -> dict:
+        return dict(self.__dict__)
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def events(self, horizon_cycles: float, rng: np.random.Generator) -> list[FaultEvent]:
         """Concrete windows over ``[0, horizon_cycles)``."""
         raise NotImplementedError

@@ -78,6 +78,17 @@ class FaultPlan:
     def __post_init__(self) -> None:
         self.events = sorted(self.events, key=lambda e: (e.start_cycle, e.kind))
 
+    # Plans must cross process boundaries (fault-injected sweeps run in
+    # pool workers), so their pickled form is pinned down explicitly: pure
+    # event data, re-sorted on restore so the schedule invariant holds even
+    # for pickles produced by older/foreign writers.
+    def __getstate__(self) -> dict:
+        return {"seed": self.seed, "events": list(self.events)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.seed = state["seed"]
+        self.events = sorted(state["events"], key=lambda e: (e.start_cycle, e.kind))
+
     @classmethod
     def compile(
         cls, injectors: Iterable, horizon_cycles: float, seed: int = 0

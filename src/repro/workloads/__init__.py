@@ -26,6 +26,7 @@ from .phased import PhasedWorkload
 from .spec import BENCHMARK_NAMES, benchmark_spec, make_benchmark
 from .micro import random_micro, sequential_micro
 from .cigar import make_cigar
+from .target import TARGET_KINDS, TargetSpec, benchmark_target
 
 __all__ = [
     "Workload",
@@ -43,4 +44,7 @@ __all__ = [
     "random_micro",
     "sequential_micro",
     "make_cigar",
+    "TARGET_KINDS",
+    "TargetSpec",
+    "benchmark_target",
 ]

@@ -1,0 +1,78 @@
+"""Picklable target-workload specifications.
+
+The measurement harnesses accept any zero-argument factory, which is
+convenient interactively but fatal for process-pool fan-out: closures and
+lambdas do not pickle, and an unpicklable factory cannot cross a worker
+boundary.  A :class:`TargetSpec` is the spec-not-closure alternative: a
+frozen dataclass naming a workload *by content* (kind, name, instance,
+seed) that
+
+* is itself a zero-argument factory (``spec()`` builds a fresh workload),
+  so every existing harness accepts it unchanged,
+* pickles, so :mod:`repro.core.parallel` can ship it to worker processes,
+* exposes a canonical :meth:`token`, so the sweep result cache can key
+  entries by workload content rather than by object identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..errors import ConfigError
+from .base import Workload
+from .cigar import make_cigar
+from .micro import random_micro, sequential_micro
+from .spec import benchmark_spec, make_benchmark
+
+#: Workload families a :class:`TargetSpec` can name.
+TARGET_KINDS = ("benchmark", "cigar", "micro.random", "micro.sequential")
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """A workload named by content: picklable, callable, cache-keyable.
+
+    ``kind`` selects the family; ``name`` is the suite benchmark for
+    ``kind="benchmark"`` (ignored otherwise); ``working_set_mb`` sizes the
+    Fig. 4 micro benchmarks (ignored otherwise).  ``instance`` and ``seed``
+    mean what they mean everywhere else in :mod:`repro.workloads`.
+    """
+
+    kind: str
+    name: str = ""
+    instance: int = 0
+    seed: int = 0
+    working_set_mb: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in TARGET_KINDS:
+            raise ConfigError(f"unknown target kind {self.kind!r}; known: {TARGET_KINDS}")
+        if self.kind == "benchmark":
+            benchmark_spec(self.name)  # raises on unknown names
+        if self.kind.startswith("micro.") and not self.working_set_mb > 0:
+            raise ConfigError("micro benchmarks need a positive working set")
+
+    def __call__(self) -> Workload:
+        """Build a fresh workload instance (the factory protocol)."""
+        if self.kind == "benchmark":
+            return make_benchmark(self.name, instance=self.instance, seed=self.seed)
+        if self.kind == "cigar":
+            return make_cigar(instance=self.instance, seed=self.seed)
+        if self.kind == "micro.random":
+            return random_micro(
+                self.working_set_mb, instance=self.instance, seed=self.seed
+            )
+        return sequential_micro(
+            self.working_set_mb, instance=self.instance, seed=self.seed
+        )
+
+    def token(self) -> dict:
+        """Canonical content token for cache keys (stable across runs)."""
+        return {"target_spec": asdict(self)}
+
+
+def benchmark_target(name: str, *, instance: int = 0, seed: int = 0) -> TargetSpec:
+    """Spec for a suite benchmark or the cigar application."""
+    if name == "cigar":
+        return TargetSpec(kind="cigar", instance=instance, seed=seed)
+    return TargetSpec(kind="benchmark", name=name, instance=instance, seed=seed)

@@ -1,0 +1,25 @@
+"""Test-suite hooks.
+
+``REPRO_TEST_ORDER_SEED=<int>`` shuffles test collection order with that
+seed — CI runs the suite once in file order and once rotated, so a test
+that only passes because an earlier test warmed some state (module import
+side effects, caches, global RNG) fails loudly instead of silently riding
+along.  Unset (the default), collection order is untouched.
+"""
+
+import os
+import random
+
+
+def pytest_collection_modifyitems(config, items):
+    seed = os.environ.get("REPRO_TEST_ORDER_SEED")
+    if not seed:
+        return
+    random.Random(int(seed)).shuffle(items)
+
+
+def pytest_report_header(config):
+    seed = os.environ.get("REPRO_TEST_ORDER_SEED")
+    if seed:
+        return f"test order shuffled: REPRO_TEST_ORDER_SEED={seed}"
+    return None

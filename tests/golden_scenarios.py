@@ -1,0 +1,66 @@
+"""Shared golden-regression scenarios.
+
+One place defines exactly what gets measured, so the checked-in goldens
+(``tests/goldens/*.json``), the regression test (``tests/test_golden.py``)
+and the regeneration script (``scripts/regen_goldens.py``) can never drift
+apart.  The scenarios are deliberately tiny — a few sweep points at short
+intervals — because goldens assert *bit-exactness*, not calibration, and
+must stay fast enough to run on every commit.
+"""
+
+from __future__ import annotations
+
+from repro.core import measure_curve_fixed
+from repro.experiments import fig4_micro
+from repro.experiments.scale import Scale
+from repro.workloads import TargetSpec
+
+#: shrunken scale for the fig4 golden: three sizes, short everything
+GOLDEN_SCALE = Scale(
+    name="golden",
+    sizes_mb=(0.5, 2.0, 8.0),
+    interval_instructions=60_000,
+    dynamic_total_instructions=1_000_000,
+    trace_lines=50_000,
+    throughput_instructions=100_000,
+    reference_benchmarks=(),
+    curve_benchmarks=(),
+    steal_benchmarks=(),
+    overhead_benchmarks=(),
+    table3_intervals=(),
+)
+
+
+def fixed_curve_scenario(workers: int = 0) -> dict:
+    """One ``measure_curve_fixed`` sweep, serialized to JSON-stable rows.
+
+    ``workers`` must not change the output — ``test_golden.py`` exploits
+    that to check the golden against the pooled path too.
+    """
+    curve = measure_curve_fixed(
+        TargetSpec(kind="micro.random", working_set_mb=2.0, seed=7),
+        [8.0, 4.0, 1.0],
+        benchmark="golden.fixed",
+        interval_instructions=40_000.0,
+        n_intervals=1,
+        seed=11,
+        workers=workers,
+    )
+    return {"benchmark": curve.benchmark, "rows": curve.to_rows()}
+
+
+def fig4_scenario() -> dict:
+    """The Fig. 4 micro-benchmark comparison at golden scale."""
+    result = fig4_micro.run(GOLDEN_SCALE, seed=3, workers=0, working_set_mb=1.0)
+    return {
+        "comparisons": [
+            {"name": c.name, "rows": c.rows()} for c in result.comparisons
+        ]
+    }
+
+
+#: golden file stem -> scenario builder
+SCENARIOS = {
+    "fixed_curve": fixed_curve_scenario,
+    "fig4_micro": fig4_scenario,
+}

@@ -1,0 +1,70 @@
+"""Golden-curve regression fixtures: measured numbers must not drift.
+
+Every scenario in ``tests/golden_scenarios.py`` is compared *bit-for-bit*
+against its checked-in JSON golden.  A failure means some change altered
+measured numbers; if that was intentional, regenerate with
+
+    python scripts/regen_goldens.py
+
+and review the diff.  The comparison reports per-row, per-field deltas so
+an accidental drift is readable at a glance.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.golden_scenarios import SCENARIOS, fixed_curve_scenario
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+REGEN_HINT = (
+    "If this change to measured numbers is intentional, regenerate with\n"
+    "    python scripts/regen_goldens.py\n"
+    "and review the diff."
+)
+
+
+def _diff(path, golden, actual, out):
+    """Collect readable leaf-level differences between two JSON trees."""
+    if isinstance(golden, dict) and isinstance(actual, dict):
+        for key in sorted(set(golden) | set(actual)):
+            if key not in golden:
+                out.append(f"{path}.{key}: unexpected (not in golden)")
+            elif key not in actual:
+                out.append(f"{path}.{key}: missing (golden has {golden[key]!r})")
+            else:
+                _diff(f"{path}.{key}", golden[key], actual[key], out)
+    elif isinstance(golden, list) and isinstance(actual, list):
+        if len(golden) != len(actual):
+            out.append(f"{path}: length {len(actual)} != golden {len(golden)}")
+        for i, (g, a) in enumerate(zip(golden, actual)):
+            _diff(f"{path}[{i}]", g, a, out)
+    elif golden != actual:
+        out.append(f"{path}: {actual!r} != golden {golden!r}")
+
+
+def assert_matches_golden(stem: str, actual: dict) -> None:
+    path = GOLDEN_DIR / f"{stem}.json"
+    assert path.exists(), f"missing golden {path}\n{REGEN_HINT}"
+    golden = json.loads(path.read_text())
+    # round-trip through JSON so float representation matches the file's
+    actual = json.loads(json.dumps(actual))
+    if actual == golden:
+        return
+    diffs: list[str] = []
+    _diff(stem, golden, actual, diffs)
+    shown = "\n".join(diffs[:25])
+    more = f"\n... and {len(diffs) - 25} more" if len(diffs) > 25 else ""
+    pytest.fail(f"golden mismatch for {stem}:\n{shown}{more}\n{REGEN_HINT}")
+
+
+@pytest.mark.parametrize("stem", sorted(SCENARIOS))
+def test_scenario_matches_golden(stem):
+    assert_matches_golden(stem, SCENARIOS[stem]())
+
+
+def test_parallel_path_matches_the_same_golden():
+    """The pooled executor reproduces the golden bit-for-bit too."""
+    assert_matches_golden("fixed_curve", fixed_curve_scenario(workers=2))
