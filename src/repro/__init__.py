@@ -21,7 +21,8 @@ Quick start::
 
 Packages: ``repro.caches`` (cache models), ``repro.hardware`` (the machine),
 ``repro.workloads`` (synthetic SPEC-like suite), ``repro.core`` (the
-pirating technique and its retry/recovery engine), ``repro.faults``
+pirating technique and its retry/recovery engine), ``repro.observability``
+(run telemetry: spans, metrics, JSONL export), ``repro.faults``
 (deterministic fault injection for robustness testing), ``repro.tracing``
 (Pin/Gprof stand-ins), ``repro.reference`` (trace-driven validation
 simulator), ``repro.analysis`` (scaling prediction, error metrics),
@@ -70,6 +71,15 @@ from .core import (
     measure_point_resilient,
     parallel_map,
     run_sweep,
+)
+from .observability import (
+    NULL_TELEMETRY,
+    Telemetry,
+    TelemetryFragment,
+    format_report,
+    read_jsonl,
+    summarize,
+    write_jsonl,
 )
 from .faults import (
     CounterGlitchInjector,
@@ -141,6 +151,14 @@ __all__ = [
     "PointQuality",
     "measure_point_resilient",
     "measure_curve_resilient",
+    # observability
+    "Telemetry",
+    "TelemetryFragment",
+    "NULL_TELEMETRY",
+    "write_jsonl",
+    "read_jsonl",
+    "summarize",
+    "format_report",
     "FaultPlan",
     "FaultEvent",
     "FaultController",

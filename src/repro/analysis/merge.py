@@ -23,6 +23,7 @@ from typing import Iterable, Sequence
 from ..core.curves import IntervalSample, PerformanceCurve
 from ..core.parallel import PointResult
 from ..core.resilience import PartialCurve, PointQuality
+from ..observability import ensure_telemetry
 
 
 def ordered_results(results: Iterable[PointResult]) -> list[PointResult]:
@@ -67,6 +68,8 @@ def assemble_curve(
     benchmark: str,
     results: Sequence[PointResult],
     clock_hz: float,
+    *,
+    telemetry=None,
 ) -> PerformanceCurve:
     """Ordered curve from (possibly out-of-order) sweep point results.
 
@@ -74,9 +77,11 @@ def assemble_curve(
     merged per-point quality whenever any point has quality metadata, and a
     plain :class:`~repro.core.curves.PerformanceCurve` otherwise.
     """
-    samples, quality = merge_point_results(results)
-    if quality:
-        curve = PartialCurve.from_samples(benchmark, samples, clock_hz)
-        curve.quality = quality
-        return curve
-    return PerformanceCurve.from_samples(benchmark, samples, clock_hz)
+    tel = ensure_telemetry(telemetry)
+    with tel.span("merge", benchmark=benchmark, n_results=len(results)):
+        samples, quality = merge_point_results(results)
+        if quality:
+            curve = PartialCurve.from_samples(benchmark, samples, clock_hz)
+            curve.quality = quality
+            return curve
+        return PerformanceCurve.from_samples(benchmark, samples, clock_hz)

@@ -12,7 +12,9 @@ The tool a user of the real Cache Pirate would have been handed:
 * ``reuse BENCH`` — reuse-distance profile and model-predicted miss curve,
 * ``sweep BENCH`` — the fixed-size baseline sweep through the parallel
   executor: ``--workers N`` fans points over a process pool, ``--cache-dir``
-  makes re-runs skip completed points,
+  makes re-runs skip completed points, ``--telemetry PATH`` leaves the run's
+  full span/metric stream behind as JSONL (plus a ``.summary.json`` sibling),
+* ``stats PATH`` — render a telemetry JSONL stream as a run report,
 * ``experiments`` — regenerate the paper's tables/figures (see
   ``repro.experiments.runall``).
 """
@@ -20,7 +22,9 @@ The tool a user of the real Cache Pirate would have been handed:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from .analysis.plot import plot_performance_curve
 from .analysis.report import format_quality_report
@@ -29,6 +33,7 @@ from .config import nehalem_config
 from .core import choose_pirate_threads, measure_curve_dynamic, measure_curve_fixed
 from .core.bandit import measure_bandwidth_curve
 from .core.resilience import PartialCurve, RetryPolicy, measure_point_resilient
+from .observability import Telemetry, format_report, read_jsonl, summarize, write_jsonl
 from .tracing import capture_trace
 from .units import MB
 from .workloads import BENCHMARK_NAMES, TargetSpec, benchmark_spec, benchmark_target
@@ -200,6 +205,14 @@ def cmd_reuse(args, out=print) -> int:
     return 0
 
 
+def _export_telemetry(telemetry: Telemetry, path: str, out) -> None:
+    """Write the JSONL stream plus an aggregated ``.summary.json`` sibling."""
+    write_jsonl(telemetry, path)
+    summary_path = Path(path).with_suffix(Path(path).suffix + ".summary.json")
+    summary_path.write_text(json.dumps(telemetry.summary(), indent=2) + "\n")
+    out(f"telemetry: {path} (summary: {summary_path})")
+
+
 def cmd_sweep(args, out=print) -> int:
     sizes = _parse_sizes(args.sizes)
     _require_positive(args.interval, "--interval")
@@ -208,6 +221,7 @@ def cmd_sweep(args, out=print) -> int:
     if args.intervals < 1:
         raise _CLIError(f"--intervals must be >= 1, got {args.intervals}")
     policy = RetryPolicy(max_attempts=args.retries + 1) if args.retries else None
+    telemetry = Telemetry() if args.telemetry else None
     curve = measure_curve_fixed(
         _factory(args.benchmark, args.seed),
         sizes,
@@ -218,6 +232,7 @@ def cmd_sweep(args, out=print) -> int:
         retry=policy,
         workers=args.workers,
         cache_dir=args.cache_dir or None,
+        telemetry=telemetry,
     )
     out(curve.format_table())
     if isinstance(curve, PartialCurve):
@@ -226,6 +241,23 @@ def cmd_sweep(args, out=print) -> int:
         for metric in ("cpi", "bandwidth_gbps", "fetch_ratio"):
             out("")
             out(plot_performance_curve(curve, metric))
+    if telemetry is not None:
+        _export_telemetry(telemetry, args.telemetry, out)
+    return 0
+
+
+def cmd_stats(args, out=print) -> int:
+    try:
+        records, registry = read_jsonl(args.path)
+    except OSError as e:
+        raise _CLIError(f"cannot read {args.path}: {e}") from None
+    except ValueError as e:
+        raise _CLIError(str(e)) from None
+    summary = summarize((records, registry))
+    if args.json:
+        out(json.dumps(summary, indent=2))
+    else:
+        out(format_report(summary))
     return 0
 
 
@@ -240,6 +272,8 @@ def cmd_experiments(args, out=print) -> int:
         argv += ["--workers", str(args.workers)]
     if args.cache_dir:
         argv += ["--cache-dir", args.cache_dir]
+    if args.telemetry:
+        argv += ["--telemetry", args.telemetry]
     return runall_main(argv)
 
 
@@ -314,7 +348,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=0,
         help="re-measurements allowed per invalid point (0 disables the retry engine)",
     )
+    p.add_argument("--telemetry", default="",
+                   help="write the run's span/metric stream to this JSONL file")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("stats", help="render a telemetry JSONL stream as a run report")
+    p.add_argument("path", help="JSONL file written by --telemetry")
+    p.add_argument("--json", action="store_true",
+                   help="emit the aggregated summary as JSON instead of text")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("--scale", choices=("quick", "full"), default="quick")
@@ -323,6 +365,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process fan-out for parallelizable experiments")
     p.add_argument("--cache-dir", default="",
                    help="sweep result cache directory")
+    p.add_argument("--telemetry", default="",
+                   help="write the run's span/metric stream to this JSONL file")
     p.set_defaults(fn=cmd_experiments)
 
     return parser

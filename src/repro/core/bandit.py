@@ -36,6 +36,7 @@ from ..faults.controller import as_controller
 from ..hardware.counters import CounterSample
 from ..hardware.machine import Machine
 from ..hardware.thread import SimThread, WorkloadLike
+from ..observability import ensure_telemetry
 from .resilience import RetryPolicy, interval_sanity
 
 #: Bandit line-address base — far from workloads and from the Pirate.
@@ -206,6 +207,7 @@ def measure_bandwidth_curve(
     seed: int = 0,
     retry_policy: RetryPolicy | None = None,
     fault_plan=None,
+    telemetry=None,
 ) -> BanditCurve:
     """Sweep the Bandit's intensity and record the Target's response.
 
@@ -221,6 +223,7 @@ def measure_bandwidth_curve(
     plan on each per-gap machine.
     """
     config = config or nehalem_config()
+    tel = ensure_telemetry(telemetry)
     if num_bandit_threads >= config.num_cores:
         raise MeasurementError("not enough cores for target + bandit threads")
     if not gaps_cycles:
@@ -228,46 +231,60 @@ def measure_bandwidth_curve(
     points = []
     name = benchmark
     for gap in gaps_cycles:
-        machine = Machine(config, seed=seed)
-        if fault_plan is not None:
-            machine.install_faults(as_controller(fault_plan))
-        if callable(target_factory):
-            wl = target_factory()
-        else:
-            wl = target_factory
-            wl.reset()
-        if name is None:
-            name = wl.name
-        target = machine.add_thread(wl, core=0)
-        bandit = Bandit(
-            machine, list(range(1, 1 + num_bandit_threads)), sets_used=sets_used
-        )
-        bandit.set_gap(gap)
-        warm_goal = warmup_instructions
-        machine.run(until=lambda: target.instructions >= warm_goal)
+        with tel.span("bandit_point", gap_cycles=gap) as point_sp:
+            machine = Machine(config, seed=seed)
+            point_t0 = machine.frontier
+            if fault_plan is not None:
+                controller = as_controller(fault_plan)
+                controller.telemetry = tel
+                machine.install_faults(controller)
+            if callable(target_factory):
+                wl = target_factory()
+            else:
+                wl = target_factory
+                wl.reset()
+            if name is None:
+                name = wl.name
+            target = machine.add_thread(wl, core=0)
+            bandit = Bandit(
+                machine, list(range(1, 1 + num_bandit_threads)), sets_used=sets_used
+            )
+            bandit.set_gap(gap)
+            warm_goal = warmup_instructions
+            machine.run(until=lambda: target.instructions >= warm_goal)
 
-        def _measure() -> tuple[CounterSample, float, float]:
-            before_t = machine.counters.sample(0)
-            before_b = bandit.sample()
-            t0 = machine.frontier
-            goal = target.instructions + interval_instructions
-            machine.run(until=lambda: target.instructions >= goal)
-            d = machine.counters.sample(0).delta(before_t)
-            return d, bandit.achieved_bandwidth_gbps(before_b), machine.frontier - t0
+            def _measure() -> tuple[CounterSample, float, float]:
+                before_t = machine.counters.sample(0)
+                before_b = bandit.sample()
+                t0 = machine.frontier
+                goal = target.instructions + interval_instructions
+                machine.run(until=lambda: target.instructions >= goal)
+                d = machine.counters.sample(0).delta(before_t)
+                tel.count("intervals_total")
+                return d, bandit.achieved_bandwidth_gbps(before_b), machine.frontier - t0
 
-        d, bandit_bw, wall = _measure()
-        attempts = 1
-        while retry_policy is not None:
-            reason = interval_sanity(d, interval_instructions, wall, retry_policy)
-            if reason is None or attempts >= retry_policy.max_attempts:
-                break
-            attempts += 1
-            # escalate: extended co-run warm-up pushes the next interval
-            # past a transient fault window, then re-measure
-            extra = retry_policy.warmup_for(warmup_instructions, attempts)
-            goal = target.instructions + extra
-            machine.run(until=lambda: target.instructions >= goal)
             d, bandit_bw, wall = _measure()
+            attempts = 1
+            while retry_policy is not None:
+                reason = interval_sanity(d, interval_instructions, wall, retry_policy)
+                if reason is None or attempts >= retry_policy.max_attempts:
+                    break
+                attempts += 1
+                # escalate: extended co-run warm-up pushes the next interval
+                # past a transient fault window, then re-measure
+                extra = retry_policy.warmup_for(warmup_instructions, attempts)
+                tel.count("retries_total")
+                tel.event(
+                    "retry_escalation",
+                    attempt=attempts - 1,
+                    reasons=[reason],
+                    next_warmup_instructions=extra,
+                    degraded_next=False,
+                )
+                goal = target.instructions + extra
+                machine.run(until=lambda: target.instructions >= goal)
+                d, bandit_bw, wall = _measure()
+            point_sp.add_cycles(machine.frontier - point_t0)
         points.append(
             BanditPoint(
                 gap_cycles=gap,

@@ -23,6 +23,7 @@ from ..errors import MeasurementError
 from ..faults.controller import as_controller
 from ..hardware.machine import Machine
 from ..hardware.thread import WorkloadLike
+from ..observability import ensure_telemetry
 from ..units import MB
 from .curves import IntervalSample, PerformanceCurve
 from .harness import DEFAULT_INTERVAL_INSTRUCTIONS, _make_target, _setup
@@ -97,6 +98,7 @@ def measure_curve_dynamic(
     compute_baseline: bool = True,
     retry_policy: RetryPolicy | None = None,
     fault_plan=None,
+    telemetry=None,
 ) -> DynamicRunResult:
     """Measure every size in ``sizes_mb`` from one Target execution (Fig. 5).
 
@@ -129,6 +131,7 @@ def measure_curve_dynamic(
     machine (the baseline run stays unfaulted).
     """
     config = config or nehalem_config()
+    tel = ensure_telemetry(telemetry)
     if not sizes_mb:
         raise MeasurementError("need at least one cache size")
     if schedule not in ("zigzag", "sawtooth"):
@@ -146,7 +149,9 @@ def measure_curve_dynamic(
         target_factory, config, num_pirate_threads, seed, quantum
     )
     if fault_plan is not None:
-        machine.install_faults(as_controller(fault_plan))
+        controller = as_controller(fault_plan)
+        controller.telemetry = tel
+        machine.install_faults(controller)
     name = benchmark or target.workload.name
     target.instruction_limit = total_instructions
     monitor = PirateMonitor(pirate, threshold)
@@ -161,19 +166,29 @@ def measure_curve_dynamic(
     # cold first down-leg would inflate the large-cache points of the curve
     if initial_warmup_instructions is None:
         initial_warmup_instructions = 8.0 * interval_instructions
-    goal = min(target.instructions + initial_warmup_instructions, total_instructions * 0.5)
-    machine.run_only(target, until=lambda: target.instructions >= goal or target.finished)
 
     quality: dict[int, PointQuality] = {}
 
     def _measure_interval(stolen: int) -> IntervalSample:
-        before = machine.counters.sample(target.core)
-        t0 = machine.frontier
-        monitor.begin()
-        goal = target.instructions + interval_instructions
-        machine.run(until=lambda: target.instructions >= goal or target.finished)
-        verdict = monitor.end()
-        delta = machine.counters.sample(target.core).delta(before)
+        with tel.span(
+            "interval", size_mb=(config.l3.size - stolen) / MB
+        ) as sp:
+            before = machine.counters.sample(target.core)
+            t0 = machine.frontier
+            monitor.begin()
+            goal = target.instructions + interval_instructions
+            machine.run(until=lambda: target.instructions >= goal or target.finished)
+            verdict = monitor.end()
+            delta = machine.counters.sample(target.core).delta(before)
+            sp.add_cycles(machine.frontier - t0)
+        tel.count("intervals_total")
+        if not verdict.trustworthy:
+            tel.count("invalid_intervals_total")
+            tel.event(
+                "interval_invalid",
+                reason="pirate_hot",
+                fetch_ratio=verdict.fetch_ratio,
+            )
         return IntervalSample(
             target_cache_bytes=config.l3.size - stolen,
             target=delta,
@@ -183,86 +198,112 @@ def measure_curve_dynamic(
             wall_cycles=machine.frontier - t0,
         )
 
-    while not target.finished:
-        size_mb = order[idx]
-        stolen = config.l3.size - int(size_mb * MB)
-        grew = stolen > pirate.working_set_bytes
-        shrank = stolen < pirate.working_set_bytes
-        pirate.set_working_set(stolen)
-        if grew:
-            # Pirate warms its new space while the Target is halted
-            pirate.warm()
-        elif shrank:
-            # Target's cache grew: let it warm the new space alone
-            goal = min(target.instructions + warm_instr, total_instructions)
+    run_sp = tel.span("dynamic_run", benchmark=name, schedule=schedule)
+    with run_sp:
+        with tel.span("warmup", instructions=initial_warmup_instructions) as sp:
+            t0 = machine.frontier
+            goal = min(
+                target.instructions + initial_warmup_instructions,
+                total_instructions * 0.5,
+            )
             machine.run_only(
                 target, until=lambda: target.instructions >= goal or target.finished
             )
-        if target.finished:
-            break
+            sp.add_cycles(machine.frontier - t0)
 
-        if settle_fraction > 0.0:
-            goal = target.instructions + settle_fraction * interval_instructions
-            machine.run(until=lambda: target.instructions >= goal or target.finished)
-            if target.finished:
-                break
-
-        sample = _measure_interval(stolen)
-        attempts = 1
-        if retry_policy is not None:
-            # route the interval through the retry engine: re-warm with
-            # backoff, re-settle, re-measure the same size until clean or
-            # out of budget (no size substitution on the dynamic schedule —
-            # the grid is the caller's contract)
-            reasons: list[str] = []
-            while not target.finished:
-                reason = classify_sample(sample, interval_instructions, retry_policy)
-                if reason is None or attempts >= retry_policy.max_attempts:
-                    break
-                reasons.append(reason)
-                attempts += 1
-                rewarm = retry_policy.warmup_for(
-                    max(warm_instr, 0.25 * interval_instructions), attempts
-                )
-                goal = min(target.instructions + rewarm, total_instructions)
+        while not target.finished:
+            size_mb = order[idx]
+            stolen = config.l3.size - int(size_mb * MB)
+            grew = stolen > pirate.working_set_bytes
+            shrank = stolen < pirate.working_set_bytes
+            pirate.set_working_set(stolen)
+            if grew:
+                # Pirate warms its new space while the Target is halted
+                pirate.warm()
+            elif shrank:
+                # Target's cache grew: let it warm the new space alone
+                goal = min(target.instructions + warm_instr, total_instructions)
                 machine.run_only(
                     target, until=lambda: target.instructions >= goal or target.finished
                 )
-                settle = max(
-                    retry_policy.settle_for(interval_instructions, attempts),
-                    settle_fraction * interval_instructions,
+            if target.finished:
+                break
+
+            if settle_fraction > 0.0:
+                tel.count(
+                    "fetch_ratio_settle_ticks", settle_fraction * interval_instructions
                 )
-                goal = target.instructions + settle
+                goal = target.instructions + settle_fraction * interval_instructions
                 machine.run(until=lambda: target.instructions >= goal or target.finished)
                 if target.finished:
                     break
-                sample = _measure_interval(stolen)
-            q = quality.get(sample.target_cache_bytes)
-            ok = classify_sample(sample, interval_instructions, retry_policy) is None
-            if q is None:
-                quality[sample.target_cache_bytes] = PointQuality(
-                    requested_mb=size_mb,
-                    measured_mb=size_mb,
-                    attempts=attempts,
-                    pirate_fetch_ratio=sample.pirate_fetch_ratio,
-                    valid=ok,
-                    reasons=reasons,
-                )
-            else:
-                # a zigzag revisit is a fresh interval, not a retry: only the
-                # extra attempts beyond its first count toward the total
-                q.attempts += attempts - 1
-                q.reasons.extend(reasons)
-                q.valid = q.valid and ok
-                q.pirate_fetch_ratio = max(q.pirate_fetch_ratio, sample.pirate_fetch_ratio)
-        if sample.target.instructions > 0:
-            samples.append(sample)
-        idx += 1
-        if idx >= len(order):
-            idx = 0
-            cycles_completed += 1
 
-    wall = machine.frontier - start
+            sample = _measure_interval(stolen)
+            attempts = 1
+            if retry_policy is not None:
+                # route the interval through the retry engine: re-warm with
+                # backoff, re-settle, re-measure the same size until clean or
+                # out of budget (no size substitution on the dynamic schedule —
+                # the grid is the caller's contract)
+                reasons: list[str] = []
+                while not target.finished:
+                    reason = classify_sample(sample, interval_instructions, retry_policy)
+                    if reason is None or attempts >= retry_policy.max_attempts:
+                        break
+                    reasons.append(reason)
+                    attempts += 1
+                    rewarm = retry_policy.warmup_for(
+                        max(warm_instr, 0.25 * interval_instructions), attempts
+                    )
+                    tel.count("retries_total")
+                    tel.event(
+                        "retry_escalation",
+                        attempt=attempts - 1,
+                        reasons=[reason],
+                        next_warmup_instructions=rewarm,
+                        degraded_next=False,
+                    )
+                    goal = min(target.instructions + rewarm, total_instructions)
+                    machine.run_only(
+                        target, until=lambda: target.instructions >= goal or target.finished
+                    )
+                    settle = max(
+                        retry_policy.settle_for(interval_instructions, attempts),
+                        settle_fraction * interval_instructions,
+                    )
+                    tel.count("fetch_ratio_settle_ticks", settle)
+                    goal = target.instructions + settle
+                    machine.run(until=lambda: target.instructions >= goal or target.finished)
+                    if target.finished:
+                        break
+                    sample = _measure_interval(stolen)
+                q = quality.get(sample.target_cache_bytes)
+                ok = classify_sample(sample, interval_instructions, retry_policy) is None
+                if q is None:
+                    quality[sample.target_cache_bytes] = PointQuality(
+                        requested_mb=size_mb,
+                        measured_mb=size_mb,
+                        attempts=attempts,
+                        pirate_fetch_ratio=sample.pirate_fetch_ratio,
+                        valid=ok,
+                        reasons=reasons,
+                    )
+                else:
+                    # a zigzag revisit is a fresh interval, not a retry: only the
+                    # extra attempts beyond its first count toward the total
+                    q.attempts += attempts - 1
+                    q.reasons.extend(reasons)
+                    q.valid = q.valid and ok
+                    q.pirate_fetch_ratio = max(q.pirate_fetch_ratio, sample.pirate_fetch_ratio)
+            if sample.target.instructions > 0:
+                samples.append(sample)
+            idx += 1
+            if idx >= len(order):
+                idx = 0
+                cycles_completed += 1
+
+        wall = machine.frontier - start
+        run_sp.add_cycles(wall)
     if retry_policy is not None:
         curve = PartialCurve.from_samples(name, samples, config.core.clock_hz)
         curve.quality = quality
@@ -270,13 +311,15 @@ def measure_curve_dynamic(
         curve = PerformanceCurve.from_samples(name, samples, config.core.clock_hz)
     baseline = 0.0
     if compute_baseline:
-        baseline = run_target_alone(
-            target_factory,
-            target.instructions,
-            config=config,
-            seed=seed,
-            quantum=quantum,
-        )
+        with tel.span("baseline", instructions=target.instructions) as sp:
+            baseline = run_target_alone(
+                target_factory,
+                target.instructions,
+                config=config,
+                seed=seed,
+                quantum=quantum,
+            )
+            sp.add_cycles(baseline)
     return DynamicRunResult(
         benchmark=name,
         curve=curve,

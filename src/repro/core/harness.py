@@ -18,6 +18,8 @@ from ..errors import MeasurementError
 from ..faults.controller import as_controller
 from ..hardware.machine import Machine
 from ..hardware.thread import SimThread, WorkloadLike
+from ..observability import ensure_telemetry
+from ..units import MB
 from .curves import IntervalSample, PerformanceCurve
 from .monitor import DEFAULT_FETCH_RATIO_THRESHOLD, PirateMonitor
 from .pirate import Pirate
@@ -83,6 +85,7 @@ def measure_fixed_size(
     seed: int = 0,
     quantum: float | None = None,
     fault_plan=None,
+    telemetry=None,
 ) -> FixedSizeResult:
     """Co-run Target and Pirate with a fixed stolen size; measure intervals.
 
@@ -94,39 +97,64 @@ def measure_fixed_size(
     the first interval (the retry engine's escalation uses this to let the
     Pirate re-claim lines lost to a transient perturbation).  ``fault_plan``
     installs a :mod:`repro.faults` plan (or ready controller) on the machine.
+    ``telemetry`` records warm-up/settle/interval spans and interval-validity
+    metrics; it observes only — no measured value depends on it.
     """
     config = config or nehalem_config()
+    tel = ensure_telemetry(telemetry)
     if not 0 <= stolen_bytes <= config.l3.size:
         raise MeasurementError(f"cannot steal {stolen_bytes} of {config.l3.size} bytes")
     machine, target, pirate = _setup(
         target_factory, config, num_pirate_threads, seed, quantum
     )
     if fault_plan is not None:
-        machine.install_faults(as_controller(fault_plan))
+        controller = as_controller(fault_plan)
+        controller.telemetry = tel
+        machine.install_faults(controller)
     start = machine.frontier
 
     pirate.set_working_set(stolen_bytes)
-    pirate.warm()  # Target suspended while the Pirate claims its set
+    with tel.span("pirate_warm", stolen_mb=stolen_bytes / MB) as sp:
+        t0 = machine.frontier
+        pirate.warm()  # Target suspended while the Pirate claims its set
+        sp.add_cycles(machine.frontier - t0)
 
     if warmup_instructions is None:
         warmup_instructions = interval_instructions
-    warm_goal = target.instructions + warmup_instructions
-    machine.run(until=lambda: target.instructions >= warm_goal)
+    with tel.span("warmup", instructions=warmup_instructions) as sp:
+        t0 = machine.frontier
+        warm_goal = target.instructions + warmup_instructions
+        machine.run(until=lambda: target.instructions >= warm_goal)
+        sp.add_cycles(machine.frontier - t0)
 
     if settle_instructions > 0.0:
-        settle_goal = target.instructions + settle_instructions
-        machine.run(until=lambda: target.instructions >= settle_goal)
+        tel.count("fetch_ratio_settle_ticks", settle_instructions)
+        with tel.span("settle", instructions=settle_instructions) as sp:
+            t0 = machine.frontier
+            settle_goal = target.instructions + settle_instructions
+            machine.run(until=lambda: target.instructions >= settle_goal)
+            sp.add_cycles(machine.frontier - t0)
 
     monitor = PirateMonitor(pirate, threshold)
     samples = []
-    for _ in range(n_intervals):
-        before = machine.counters.sample(target.core)
-        t0 = machine.frontier
-        monitor.begin()
-        goal = target.instructions + interval_instructions
-        machine.run(until=lambda: target.instructions >= goal)
-        verdict = monitor.end()
-        delta = machine.counters.sample(target.core).delta(before)
+    for i in range(n_intervals):
+        with tel.span("interval", index=i) as sp:
+            before = machine.counters.sample(target.core)
+            t0 = machine.frontier
+            monitor.begin()
+            goal = target.instructions + interval_instructions
+            machine.run(until=lambda: target.instructions >= goal)
+            verdict = monitor.end()
+            delta = machine.counters.sample(target.core).delta(before)
+            sp.add_cycles(machine.frontier - t0)
+        tel.count("intervals_total")
+        if not verdict.trustworthy:
+            tel.count("invalid_intervals_total")
+            tel.event(
+                "interval_invalid",
+                reason="pirate_hot",
+                fetch_ratio=verdict.fetch_ratio,
+            )
         samples.append(
             IntervalSample(
                 target_cache_bytes=config.l3.size - stolen_bytes,
@@ -162,6 +190,7 @@ def measure_curve_fixed(
     fault_plan=None,
     workers: int = 0,
     cache_dir=None,
+    telemetry=None,
 ) -> PerformanceCurve:
     """The expensive baseline: one fixed-size execution per cache size.
 
@@ -180,11 +209,17 @@ def measure_curve_fixed(
     Passing a :class:`~repro.core.resilience.RetryPolicy` as ``retry`` routes
     every point through the retry engine and returns a
     :class:`~repro.core.resilience.PartialCurve` with per-point quality.
+
+    A :class:`~repro.observability.Telemetry` passed as ``telemetry``
+    collects per-point spans and engine metrics (cache hits, retries,
+    worker utilization); enabling it changes neither the measured curve nor
+    any cache key.
     """
     from ..analysis.merge import assemble_curve
     from .parallel import SweepSpec, run_sweep
 
     config = config or nehalem_config()
+    tel = ensure_telemetry(telemetry)
     if not callable(target_factory):
         raise MeasurementError("measure_curve_fixed needs a factory for fresh targets")
     # resolve the benchmark name once, not once per sweep size
@@ -202,8 +237,9 @@ def measure_curve_fixed(
         seed=seed,
         retry=retry,
         fault_plan=fault_plan,
+        telemetry=tel.enabled,
     )
     results, _ = run_sweep(
-        spec, list(sizes_mb), workers=workers, cache_dir=cache_dir
+        spec, list(sizes_mb), workers=workers, cache_dir=cache_dir, telemetry=tel
     )
-    return assemble_curve(name or "target", results, config.core.clock_hz)
+    return assemble_curve(name or "target", results, config.core.clock_hz, telemetry=tel)

@@ -26,7 +26,9 @@ from ..hardware.counters import CounterSample
 from ..hardware.machine import Machine
 from ..hardware.thread import SimThread, WorkloadLike
 from ..faults.controller import as_controller
+from ..observability import ensure_telemetry
 from ..rng import stable_seed
+from ..units import MB
 from ..workloads import make_benchmark
 from .curves import IntervalSample
 from .monitor import DEFAULT_FETCH_RATIO_THRESHOLD, PirateMonitor
@@ -99,6 +101,7 @@ def measure_multithreaded(
     seed: int = 0,
     retry_policy: RetryPolicy | None = None,
     fault_plan=None,
+    telemetry=None,
 ) -> MultiTargetResult:
     """Co-run a multithreaded Target with the Pirate for one interval.
 
@@ -112,6 +115,7 @@ def measure_multithreaded(
     the policy's attempt budget.
     """
     config = config or nehalem_config()
+    tel = ensure_telemetry(telemetry)
     k = len(target_factories)
     if k < 1:
         raise MeasurementError("need at least one target thread")
@@ -122,34 +126,52 @@ def measure_multithreaded(
         )
     machine = Machine(config, seed=seed)
     if fault_plan is not None:
-        machine.install_faults(as_controller(fault_plan))
+        controller = as_controller(fault_plan)
+        controller.telemetry = tel
+        machine.install_faults(controller)
     threads: list[SimThread] = []
     for i, factory in enumerate(target_factories):
         wl = factory() if callable(factory) else factory
         threads.append(machine.add_thread(wl, core=i))
     pirate = Pirate(machine, cores=list(range(k, k + num_pirate_threads)))
-    pirate.set_working_set(stolen_bytes)
-    pirate.warm()
+    with tel.span("pirate_warm", stolen_mb=stolen_bytes / MB) as sp:
+        t0 = machine.frontier
+        pirate.set_working_set(stolen_bytes)
+        pirate.warm()
+        sp.add_cycles(machine.frontier - t0)
 
     if warmup_instructions is None:
         warmup_instructions = interval_instructions
-    goals = [t.instructions + warmup_instructions for t in threads]
-    machine.run(
-        until=lambda: all(t.instructions >= g for t, g in zip(threads, goals))
-    )
+    with tel.span("warmup", instructions=warmup_instructions) as sp:
+        t0 = machine.frontier
+        goals = [t.instructions + warmup_instructions for t in threads]
+        machine.run(
+            until=lambda: all(t.instructions >= g for t, g in zip(threads, goals))
+        )
+        sp.add_cycles(machine.frontier - t0)
 
     monitor = PirateMonitor(pirate, threshold)
 
     def _measure() -> tuple[list[CounterSample], float, float]:
-        befores = [machine.counters.sample(i) for i in range(k)]
-        t0 = machine.frontier
-        monitor.begin()
-        goals = [t.instructions + interval_instructions for t in threads]
-        machine.run(
-            until=lambda: all(t.instructions >= g for t, g in zip(threads, goals))
-        )
-        verdict = monitor.end()
-        deltas = [machine.counters.sample(i).delta(befores[i]) for i in range(k)]
+        with tel.span("interval", target_threads=k) as sp:
+            befores = [machine.counters.sample(i) for i in range(k)]
+            t0 = machine.frontier
+            monitor.begin()
+            goals = [t.instructions + interval_instructions for t in threads]
+            machine.run(
+                until=lambda: all(t.instructions >= g for t, g in zip(threads, goals))
+            )
+            verdict = monitor.end()
+            deltas = [machine.counters.sample(i).delta(befores[i]) for i in range(k)]
+            sp.add_cycles(machine.frontier - t0)
+        tel.count("intervals_total")
+        if not verdict.trustworthy:
+            tel.count("invalid_intervals_total")
+            tel.event(
+                "interval_invalid",
+                reason="pirate_hot",
+                fetch_ratio=verdict.fetch_ratio,
+            )
         return deltas, verdict.fetch_ratio, machine.frontier - t0
 
     deltas, fetch_ratio, wall = _measure()
@@ -168,6 +190,14 @@ def measure_multithreaded(
         attempts += 1
         # escalate: extended co-run warm-up, then re-measure
         extra = retry_policy.warmup_for(warmup_instructions, attempts)
+        tel.count("retries_total")
+        tel.event(
+            "retry_escalation",
+            attempt=attempts - 1,
+            reasons=[reason],
+            next_warmup_instructions=extra,
+            degraded_next=False,
+        )
         goals = [t.instructions + extra for t in threads]
         machine.run(
             until=lambda: all(t.instructions >= g for t, g in zip(threads, goals))

@@ -33,8 +33,9 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields, replace
 from multiprocessing import get_all_start_methods, get_context
 from pathlib import Path
 from typing import Callable, Sequence
@@ -43,6 +44,7 @@ from ..config import MachineConfig
 from ..errors import MeasurementError
 from ..faults.plan import FaultPlan
 from ..hardware.counters import CounterSample
+from ..observability import NULL_TELEMETRY, Telemetry, TelemetryFragment, ensure_telemetry
 from ..rng import stable_seed
 from ..units import MB
 from .curves import IntervalSample
@@ -111,6 +113,11 @@ class SweepSpec:
     seed: int = 0
     retry: RetryPolicy | None = None
     fault_plan: FaultPlan | None = None
+    #: collect per-point telemetry in the worker and ship it back on the
+    #: result.  Deliberately *excluded* from :func:`spec_token`: telemetry
+    #: observes a measurement, it never changes one, so flipping it must not
+    #: invalidate cached points.
+    telemetry: bool = False
 
 
 @dataclass(frozen=True)
@@ -140,6 +147,9 @@ class PointResult:
     samples: list[IntervalSample]
     quality: PointQuality | None = None
     from_cache: bool = False
+    #: the worker-side telemetry stream (None when telemetry is off or the
+    #: point came from the cache); not persisted in the result cache
+    telemetry: TelemetryFragment | None = None
 
 
 @dataclass
@@ -179,47 +189,53 @@ def sweep_points(spec: SweepSpec, sizes_mb: Sequence[float]) -> list[SweepPoint]
 
 
 def measure_sweep_point(spec: SweepSpec, point: SweepPoint) -> PointResult:
-    """Measure one point.  Pure: no shared state, no global RNG."""
+    """Measure one point.  Pure: no shared state, no global RNG.
+
+    When ``spec.telemetry`` is set, the point collects its own
+    :class:`~repro.observability.Telemetry` — created *here*, not passed in,
+    so the collection is identical whether the point runs in-process or in a
+    pool worker — and ships it back as a fragment on the result.
+    """
     from .harness import measure_fixed_size
     from .resilience import measure_point_resilient
 
-    if spec.retry is not None:
-        result, quality = measure_point_resilient(
-            spec.target,
-            point.stolen_bytes,
-            config=spec.config,
-            policy=spec.retry,
-            fault_plan=spec.fault_plan,
-            num_pirate_threads=spec.num_pirate_threads,
-            interval_instructions=spec.interval_instructions,
-            n_intervals=spec.n_intervals,
-            warmup_instructions=spec.warmup_instructions,
-            threshold=spec.threshold,
-            seed=point.seed,
-            quantum=spec.quantum,
-        )
-        return PointResult(
-            index=point.index,
-            size_mb=point.size_mb,
-            stolen_bytes=result.stolen_bytes,
-            target_cache_bytes=result.target_cache_bytes,
-            seed=point.seed,
-            samples=result.samples,
-            quality=quality,
-        )
-    result = measure_fixed_size(
-        spec.target,
-        point.stolen_bytes,
-        config=spec.config,
-        num_pirate_threads=spec.num_pirate_threads,
-        interval_instructions=spec.interval_instructions,
-        n_intervals=spec.n_intervals,
-        warmup_instructions=spec.warmup_instructions,
-        threshold=spec.threshold,
-        seed=point.seed,
-        quantum=spec.quantum,
-        fault_plan=spec.fault_plan,
-    )
+    tel = Telemetry() if spec.telemetry else NULL_TELEMETRY
+    with tel.span(
+        "point", index=point.index, size_mb=point.size_mb, pid=os.getpid()
+    ) as sp:
+        if spec.retry is not None:
+            result, quality = measure_point_resilient(
+                spec.target,
+                point.stolen_bytes,
+                config=spec.config,
+                policy=spec.retry,
+                fault_plan=spec.fault_plan,
+                num_pirate_threads=spec.num_pirate_threads,
+                interval_instructions=spec.interval_instructions,
+                n_intervals=spec.n_intervals,
+                warmup_instructions=spec.warmup_instructions,
+                threshold=spec.threshold,
+                seed=point.seed,
+                quantum=spec.quantum,
+                telemetry=tel,
+            )
+        else:
+            quality = None
+            result = measure_fixed_size(
+                spec.target,
+                point.stolen_bytes,
+                config=spec.config,
+                num_pirate_threads=spec.num_pirate_threads,
+                interval_instructions=spec.interval_instructions,
+                n_intervals=spec.n_intervals,
+                warmup_instructions=spec.warmup_instructions,
+                threshold=spec.threshold,
+                seed=point.seed,
+                quantum=spec.quantum,
+                fault_plan=spec.fault_plan,
+                telemetry=tel,
+            )
+        sp.add_cycles(result.wall_cycles)
     return PointResult(
         index=point.index,
         size_mb=point.size_mb,
@@ -227,6 +243,8 @@ def measure_sweep_point(spec: SweepSpec, point: SweepPoint) -> PointResult:
         target_cache_bytes=result.target_cache_bytes,
         seed=point.seed,
         samples=result.samples,
+        quality=quality,
+        telemetry=tel.fragment() if spec.telemetry else None,
     )
 
 
@@ -380,6 +398,20 @@ def _check_picklable(spec: SweepSpec) -> None:
         ) from None
 
 
+def _worker_busy_seconds(fragments: dict[int, TelemetryFragment]) -> dict[int, float]:
+    """Wall seconds each worker pid spent inside ``point`` spans."""
+    busy: dict[int, float] = {}
+    for frag in fragments.values():
+        pids: dict[int, int] = {}
+        for r in frag.records:
+            if r["type"] == "span_start" and r["name"] == "point":
+                pids[r["id"]] = r["attrs"].get("pid", 0)
+            elif r["type"] == "span_end" and r["name"] == "point" and r["id"] in pids:
+                pid = pids[r["id"]]
+                busy[pid] = busy.get(pid, 0.0) + r.get("wall_s", 0.0)
+    return busy
+
+
 def run_sweep(
     spec: SweepSpec,
     sizes_mb: Sequence[float],
@@ -388,6 +420,7 @@ def run_sweep(
     cache_dir: str | Path | None = None,
     chunksize: int | None = None,
     mp_context=None,
+    telemetry=None,
 ) -> tuple[list[PointResult], SweepStats]:
     """Execute a sweep's points; returns (results, stats).
 
@@ -402,53 +435,96 @@ def run_sweep(
     With ``cache_dir`` set, points whose key is already on disk are loaded
     instead of measured, and newly measured points are persisted — a
     re-run after a crash resumes where it stopped.
+
+    A live :class:`~repro.observability.Telemetry` passed as ``telemetry``
+    wraps the sweep in a span, accounts cache hits/misses, and absorbs each
+    measured point's worker-side fragment *in point order* (so the merged
+    stream is independent of completion order).  Pool bookkeeping lands
+    under ``exec_``-prefixed names: one ``exec_pool`` span, an
+    ``exec_pool_spawns_total`` counter, and per-worker
+    ``exec_worker_utilization`` gauges.
     """
     if workers < 0:
         raise MeasurementError(f"workers must be >= 0, got {workers}")
+    tel = ensure_telemetry(telemetry)
+    if tel.enabled and not spec.telemetry:
+        spec = replace(spec, telemetry=True)
     points = sweep_points(spec, sizes_mb)
     cache = SweepCache(cache_dir) if cache_dir is not None else None
     stats = SweepStats(workers=workers)
 
-    results: list[PointResult] = []
-    pending: list[SweepPoint] = []
-    keys: dict[int, str] = {}
-    for p in points:
-        if cache is not None:
-            keys[p.index] = point_cache_key(spec, p)
-            hit = cache.load(keys[p.index])
-            if hit is not None:
-                results.append(hit)
-                stats.cache_hits += 1
-                continue
-        pending.append(p)
+    with tel.span("sweep", benchmark=spec.benchmark, n_points=len(points)):
+        results: list[PointResult] = []
+        pending: list[SweepPoint] = []
+        keys: dict[int, str] = {}
+        for p in points:
+            if cache is not None:
+                keys[p.index] = point_cache_key(spec, p)
+                hit = cache.load(keys[p.index])
+                if hit is not None:
+                    results.append(hit)
+                    stats.cache_hits += 1
+                    tel.count("cache_hits_total")
+                    tel.event("cache_hit", index=p.index, size_mb=p.size_mb)
+                    continue
+                tel.count("cache_misses_total")
+            pending.append(p)
 
-    def record(result: PointResult) -> None:
-        results.append(result)
-        stats.measured += 1
-        if cache is not None:
-            cache.store(keys[result.index], result)
+        fragments: dict[int, TelemetryFragment] = {}
 
-    if workers >= 2 and len(pending) >= 2:
-        _check_picklable(spec)
-        chunk = chunksize if chunksize is not None else default_chunksize(
-            len(pending), workers
-        )
-        chunks = [pending[i : i + chunk] for i in range(0, len(pending), chunk)]
-        stats.chunks = len(chunks)
-        ctx = mp_context if mp_context is not None else default_mp_context()
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)), mp_context=ctx
-        ) as pool:
-            not_done = {pool.submit(_measure_chunk, spec, c) for c in chunks}
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    for result in fut.result():
-                        record(result)
-    else:
-        stats.chunks = 1 if pending else 0
-        for p in pending:
-            record(measure_sweep_point(spec, p))
+        def record(result: PointResult) -> None:
+            results.append(result)
+            stats.measured += 1
+            if result.telemetry is not None:
+                fragments[result.index] = result.telemetry
+            if cache is not None:
+                cache.store(keys[result.index], result)
+
+        pool_wall = 0.0
+        n_workers = 0
+        if workers >= 2 and len(pending) >= 2:
+            _check_picklable(spec)
+            chunk = chunksize if chunksize is not None else default_chunksize(
+                len(pending), workers
+            )
+            chunks = [pending[i : i + chunk] for i in range(0, len(pending), chunk)]
+            stats.chunks = len(chunks)
+            ctx = mp_context if mp_context is not None else default_mp_context()
+            n_workers = min(workers, len(chunks))
+            tel.count("exec_pool_spawns_total")
+            with tel.span("exec_pool", workers=n_workers, chunks=len(chunks)):
+                t0 = time.perf_counter()
+                with ProcessPoolExecutor(
+                    max_workers=n_workers, mp_context=ctx
+                ) as pool:
+                    not_done = {pool.submit(_measure_chunk, spec, c) for c in chunks}
+                    while not_done:
+                        done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                        for fut in done:
+                            for result in fut.result():
+                                record(result)
+                pool_wall = time.perf_counter() - t0
+        else:
+            stats.chunks = 1 if pending else 0
+            for p in pending:
+                record(measure_sweep_point(spec, p))
+
+        # absorb worker streams in point-index order: the parent's merged
+        # stream (and hence the aggregated summary) no longer depends on
+        # which worker finished first
+        for index in sorted(fragments):
+            tel.absorb(fragments[index])
+
+        if tel.enabled and pool_wall > 0.0 and n_workers > 0:
+            busy = _worker_busy_seconds(fragments)
+            tel.gauge(
+                "exec_worker_utilization",
+                min(sum(busy.values()) / (n_workers * pool_wall), 1.0),
+            )
+            for pid, seconds in sorted(busy.items()):
+                tel.gauge(
+                    "exec_worker_utilization", min(seconds / pool_wall, 1.0), pid=pid
+                )
     return results, stats
 
 

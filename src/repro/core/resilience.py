@@ -37,6 +37,7 @@ from typing import Callable
 from ..config import MachineConfig, nehalem_config
 from ..errors import DegradedMeasurement, MeasurementError, RetryExhaustedError
 from ..hardware.counters import CounterSample
+from ..observability import ensure_telemetry
 from ..units import MB
 from .curves import IntervalSample, PerformanceCurve
 from .monitor import DEFAULT_FETCH_RATIO_THRESHOLD
@@ -290,8 +291,9 @@ class RetryEngine:
     until the budget is spent.
     """
 
-    def __init__(self, policy: RetryPolicy | None = None):
+    def __init__(self, policy: RetryPolicy | None = None, telemetry=None):
         self.policy = policy or RetryPolicy()
+        self.telemetry = ensure_telemetry(telemetry)
 
     def run(
         self,
@@ -305,6 +307,7 @@ class RetryEngine:
     ) -> RecoveryOutcome:
         """Measure one point, escalating until clean or out of budget."""
         policy = self.policy
+        tel = self.telemetry
         expected = (
             expected_instructions
             if expected_instructions is not None
@@ -320,15 +323,34 @@ class RetryEngine:
                 settle_instructions=policy.settle_for(interval_instructions, k),
                 stolen_bytes=stolen,
             )
-            samples, payload = attempt(spec)
+            with tel.span("attempt", attempt=k, stolen_mb=stolen / MB):
+                samples, payload = attempt(spec)
             bad = sorted({
                 r for s in samples
                 if (r := classify_sample(s, expected, policy)) is not None
             })
             last = (samples, payload, spec)
             if samples and not bad:
+                tel.gauge("retry_attempts_max", float(k))
                 return RecoveryOutcome(samples, payload, k, reasons, stolen, True)
             reasons.extend(bad or ["no_samples"])
+            if k < policy.max_attempts:
+                # one event per escalation: attempt k failed, attempt k+1
+                # runs with longer warm-up / settle / degraded steal size
+                tel.count("retries_total")
+                tel.event(
+                    "retry_escalation",
+                    attempt=k,
+                    reasons=bad or ["no_samples"],
+                    next_warmup_instructions=policy.warmup_for(
+                        base_warmup_instructions, k + 1
+                    ),
+                    degraded_next=policy.degraded_steal(requested_stolen_bytes, k + 1)
+                    != requested_stolen_bytes,
+                )
+        tel.gauge("retry_attempts_max", float(policy.max_attempts))
+        tel.count("retries_exhausted_total")
+        tel.event("retries_exhausted", reasons=reasons)
         samples, payload, spec = last  # type: ignore[misc]
         return RecoveryOutcome(
             samples, payload, self.policy.max_attempts, reasons, spec.stolen_bytes, False
@@ -352,6 +374,7 @@ def measure_point_resilient(
     threshold: float = DEFAULT_FETCH_RATIO_THRESHOLD,
     seed: int = 0,
     quantum: float | None = None,
+    telemetry=None,
 ):
     """One fixed-size point, re-measured until trustworthy or degraded.
 
@@ -364,6 +387,7 @@ def measure_point_resilient(
     from .harness import DEFAULT_INTERVAL_INSTRUCTIONS, measure_fixed_size
 
     config = config or nehalem_config()
+    tel = ensure_telemetry(telemetry)
     policy = policy or RetryPolicy()
     if interval_instructions is None:
         interval_instructions = DEFAULT_INTERVAL_INSTRUCTIONS
@@ -388,10 +412,11 @@ def measure_point_resilient(
             seed=seed,
             quantum=quantum,
             fault_plan=fault_plan,
+            telemetry=tel,
         )
         return res.samples, res
 
-    outcome = RetryEngine(policy).run(
+    outcome = RetryEngine(policy, telemetry=tel).run(
         attempt,
         base_warmup_instructions=base_warm,
         interval_instructions=interval_instructions,
@@ -408,6 +433,16 @@ def measure_point_resilient(
         valid=outcome.succeeded,
         reasons=outcome.reasons,
     )
+    if quality.degraded:
+        tel.count("degraded_points_total")
+        tel.event(
+            "degraded_point",
+            requested_mb=quality.requested_mb,
+            measured_mb=quality.measured_mb,
+            attempts=quality.attempts,
+        )
+    if not outcome.succeeded:
+        tel.count("failed_points_total")
     if policy.strict:
         if not outcome.succeeded:
             raise RetryExhaustedError(
@@ -443,6 +478,7 @@ def measure_curve_resilient(
     quantum: float | None = None,
     workers: int = 0,
     cache_dir=None,
+    telemetry=None,
 ) -> PartialCurve:
     """A full fixed-size curve through the retry engine.
 
@@ -482,4 +518,5 @@ def measure_curve_resilient(
         fault_plan=fault_plan,
         workers=workers,
         cache_dir=cache_dir,
+        telemetry=telemetry,
     )

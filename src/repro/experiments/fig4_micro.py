@@ -94,6 +94,7 @@ def run(
     workers: int | None = None,
     cache_dir=None,
     working_set_mb: float = WORKING_SET_MB,
+    telemetry=None,
 ) -> Fig4Result:
     """Measure both micro benchmarks the three ways of Fig. 4.
 
@@ -101,6 +102,8 @@ def run(
     ``measure_curve_fixed`` call (default workers: the scale's
     ``max_workers``); the factories are picklable
     :class:`~repro.workloads.target.TargetSpec`\\ s so points can fan out.
+    ``telemetry`` instruments both sweeps (this experiment backs the
+    telemetry-summary golden in ``tests/goldens``).
     """
     if workers is None:
         workers = scale.max_workers
@@ -127,6 +130,7 @@ def run(
             seed=stable_seed(seed, name, "pirate"),
             workers=workers,
             cache_dir=cache_dir,
+            telemetry=telemetry,
         )
         trace = _capture(factory(), trace_lines)
         lru = reference_curve(

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..core.curves import PerformanceCurve
 from ..core.parallel import parallel_map
+from ..observability import ensure_telemetry
 from .common import dynamic_curve
 from .scale import QUICK, Scale
 
@@ -46,18 +47,30 @@ def _curve_job(job: tuple[str, Scale, int]) -> tuple[str, PerformanceCurve]:
     return name, dynamic_curve(name, scale, seed=seed)
 
 
-def run(scale: Scale = QUICK, seed: int = 0, *, workers: int | None = None) -> Fig8Result:
+def run(
+    scale: Scale = QUICK,
+    seed: int = 0,
+    *,
+    workers: int | None = None,
+    telemetry=None,
+) -> Fig8Result:
     """Capture the §IV curve gallery with one dynamic run per benchmark.
 
     Each benchmark is an independent dynamic-pirating execution, so the
     gallery fans out benchmark-per-task over a process pool when ``workers
     >= 2`` (default: the scale's ``max_workers``).  Results are collected
     in benchmark order, so the gallery is identical for any worker count.
+    ``telemetry`` records one event per harvested benchmark (the per-run
+    streams stay in the workers; the gallery only observes completion).
     """
     if workers is None:
         workers = scale.max_workers
+    tel = ensure_telemetry(telemetry)
     result = Fig8Result()
     jobs = [(name, scale, seed) for name in scale.curve_benchmarks]
-    for name, curve in parallel_map(_curve_job, jobs, workers=workers):
-        result.curves[name] = curve
+    with tel.span("fig8_gallery", benchmarks=len(jobs)):
+        for name, curve in parallel_map(_curve_job, jobs, workers=workers):
+            result.curves[name] = curve
+            tel.count("benchmarks_total")
+            tel.event("benchmark_curve", benchmark=name, points=len(curve.points))
     return result

@@ -45,11 +45,14 @@ EXPERIMENTS = {
 }
 
 
-def _parallel_kwargs(module, workers: int | None, cache_dir: str | None) -> dict:
-    """The subset of {workers, cache_dir} a module's run() accepts.
+def _parallel_kwargs(
+    module, workers: int | None, cache_dir: str | None, telemetry=None
+) -> dict:
+    """The subset of {workers, cache_dir, telemetry} a module's run() accepts.
 
-    Experiments opt into the parallel executor by signature; the rest run
-    unchanged, so fan-out flags never alter what gets measured.
+    Experiments opt into the parallel executor and the telemetry layer by
+    signature; the rest run unchanged, so fan-out and instrumentation flags
+    never alter what gets measured.
     """
     params = inspect.signature(module.run).parameters
     kwargs = {}
@@ -57,6 +60,8 @@ def _parallel_kwargs(module, workers: int | None, cache_dir: str | None) -> dict
         kwargs["workers"] = workers
     if cache_dir is not None and "cache_dir" in params:
         kwargs["cache_dir"] = cache_dir
+    if telemetry is not None and "telemetry" in params:
+        kwargs["telemetry"] = telemetry
     return kwargs
 
 
@@ -68,6 +73,7 @@ def run_all(
     echo=print,
     workers: int | None = None,
     cache_dir: str | None = None,
+    telemetry=None,
 ) -> dict[str, object]:
     """Run the selected experiments; returns {id: result}.
 
@@ -75,6 +81,8 @@ def run_all(
     ``workers`` fans the parallelizable experiments' independent sweeps
     over a process pool (None keeps each scale's ``max_workers`` default);
     ``cache_dir`` lets their fixed-size sweeps resume from cached points.
+    A live :class:`~repro.observability.Telemetry` as ``telemetry`` is
+    handed to every experiment whose ``run()`` accepts it.
     """
     selected = list(only) if only else list(EXPERIMENTS)
     unknown = set(selected) - set(EXPERIMENTS)
@@ -89,7 +97,11 @@ def run_all(
             result = fig7_errors.from_fig6(results["fig6"])
         else:
             module = EXPERIMENTS[exp_id]
-            result = module.run(scale, seed, **_parallel_kwargs(module, workers, cache_dir))
+            result = module.run(
+                scale,
+                seed,
+                **_parallel_kwargs(module, workers, cache_dir, telemetry),
+            )
         results[exp_id] = result
         echo(f"\n{'=' * 72}")
         echo(result.format())
@@ -112,11 +124,20 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-dir", default="",
         help="persist sweep points here so re-runs skip completed points",
     )
+    parser.add_argument(
+        "--telemetry", default="",
+        help="write the run's span/metric stream to this JSONL file",
+    )
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 0:
         parser.error("--workers must be >= 0")
     scale = FULL if args.scale == "full" else QUICK
     only = [s for s in args.only.split(",") if s] or None
+    telemetry = None
+    if args.telemetry:
+        from ..observability import Telemetry
+
+        telemetry = Telemetry()
 
     chunks: list[str] = []
 
@@ -131,10 +152,15 @@ def main(argv: list[str] | None = None) -> int:
         echo=echo,
         workers=args.workers,
         cache_dir=args.cache_dir or None,
+        telemetry=telemetry,
     )
     if args.out:
         with open(args.out, "w") as fh:
             fh.write("\n".join(chunks) + "\n")
+    if telemetry is not None:
+        from ..cli import _export_telemetry
+
+        _export_telemetry(telemetry, args.telemetry, print)
     return 0
 
 

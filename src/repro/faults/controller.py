@@ -22,7 +22,8 @@ import numpy as np
 from ..hardware.counters import CounterSample
 from ..hardware.machine import Machine
 from ..hardware.thread import SimThread
-from .plan import FaultPlan
+from ..observability import NULL_TELEMETRY
+from .plan import FaultPlan, FaultEvent
 
 #: Noisy-neighbor line-address base — far from workloads, Pirate and Bandit.
 NEIGHBOR_BASE = 1 << 46
@@ -68,6 +69,30 @@ class FaultController:
         self.machine: Machine | None = None
         self._neighbor: SimThread | None = None
         self._dram_base: float | None = None
+        #: set by the harness when a run is instrumented; each fault window
+        #: is reported once, the first time it takes effect
+        self.telemetry = NULL_TELEMETRY
+        self._reported: set[tuple] = set()
+
+    def _report(self, ev: FaultEvent) -> None:
+        """Emit one telemetry event per fault window, on first activation.
+
+        Keyed to the machine's own clock, so the emission is deterministic
+        and identical between serial and pooled runs of the same plan.
+        """
+        key = (ev.kind, ev.start_cycle, ev.core)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.telemetry.count("faults_injected_total", kind=ev.kind)
+        self.telemetry.event(
+            "fault_injected",
+            kind=ev.kind,
+            start_cycle=ev.start_cycle,
+            duration_cycles=ev.duration_cycles,
+            magnitude=ev.magnitude,
+            core=ev.core,
+        )
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -99,6 +124,7 @@ class FaultController:
         for ev in self.plan.active("counter_glitch", self.machine.frontier):
             if ev.core != core:
                 continue
+            self._report(ev)
             if ev.magnitude <= 0.0:
                 return CounterSample()  # dropped read: an all-zero bank
             return replace(sample, cycles=sample.cycles * ev.magnitude)
@@ -111,6 +137,8 @@ class FaultController:
 
         bursts = self.plan.active("noisy_neighbor", now_cycles)
         if bursts:
+            for ev in bursts:
+                self._report(ev)
             if self._neighbor is None:
                 core = self.neighbor_core
                 if core is None:
@@ -125,6 +153,7 @@ class FaultController:
 
         jitter = self.plan.first_active("sched_jitter", now_cycles)
         if jitter is not None:
+            self._report(jitter)
             a = min(max(jitter.magnitude, 0.0), 0.9)
             # deterministic pseudo-noise keyed to the frontier: replayable
             phase = (int(now_cycles) * 2654435761) & 0xFFFF
@@ -135,6 +164,7 @@ class FaultController:
         brownout = self.plan.first_active("dram_brownout", now_cycles)
         assert self._dram_base is not None
         if brownout is not None:
+            self._report(brownout)
             m.dram_domain.capacity = self._dram_base * min(
                 max(brownout.magnitude, 0.05), 1.0
             )

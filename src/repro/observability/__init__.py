@@ -1,0 +1,57 @@
+"""Run telemetry for the measurement engine: spans, metrics, event export.
+
+After the resilience engine (retries, degradation) and the parallel engine
+(pooling, caching) the harness makes runtime decisions that are invisible in
+its return values — how many intervals the §III-B2 fetch-ratio check
+rejected, how far warm-ups escalated, which points came from the sweep
+cache, how busy the pool workers were.  This package makes every one of
+those decisions observable without changing a single measured number:
+
+* :mod:`~repro.observability.spans` — nested :class:`Span` instrumentation
+  with dual wall-time / simulated-cycle attribution,
+* :mod:`~repro.observability.metrics` — a typed registry of counters,
+  high-watermark gauges, and fixed-bucket histograms whose merges are
+  order-independent,
+* :mod:`~repro.observability.telemetry` — the :class:`Telemetry` facade the
+  harnesses call, its zero-cost :data:`NULL_TELEMETRY` stand-in, and the
+  picklable :class:`TelemetryFragment` that carries a pool worker's
+  telemetry back to the parent,
+* :mod:`~repro.observability.export` — the JSONL event stream
+  (``--telemetry out.jsonl``), the aggregated two-part summary
+  (measurement vs execution), and the ``repro stats`` report renderer.
+
+Guarantees, under test in ``tests/test_observability_props.py``:
+telemetry is a pure *observer* (enabling it changes no measured value, no
+seed, no cache key); span streams always balance; and serial vs parallel
+runs of the same sweep aggregate to the same measurement summary.
+"""
+
+from .metrics import EXEC_PREFIX, Histogram, MetricsRegistry, metric_key
+from .spans import Span, SpanRecorder
+from .telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetryFragment,
+    ensure_telemetry,
+)
+from .export import SCHEMA_VERSION, format_report, read_jsonl, summarize, write_jsonl
+
+__all__ = [
+    "EXEC_PREFIX",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_key",
+    "Span",
+    "SpanRecorder",
+    "Telemetry",
+    "TelemetryFragment",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "ensure_telemetry",
+    "SCHEMA_VERSION",
+    "write_jsonl",
+    "read_jsonl",
+    "summarize",
+    "format_report",
+]

@@ -1,0 +1,222 @@
+"""Exporting telemetry: the JSONL event stream and the aggregated summary.
+
+Two output shapes serve two consumers:
+
+* :func:`write_jsonl` — the full event stream, one JSON object per line
+  (schema in docs/API.md): a ``meta`` header, every ``span_start`` /
+  ``span_end`` / ``event`` record in program order, then a ``metric``
+  snapshot line per metric.  This is the machine-readable artifact
+  ``repro sweep --telemetry out.jsonl`` leaves behind and CI uploads.
+* :func:`summarize` — the aggregated run report, split into a
+  **measurement** half (retries, settle ticks, cache hits, per-span-name
+  counts and simulated-cycle totals — a pure function of the sweep's
+  inputs, identical between serial and parallel runs) and an **execution**
+  half (wall times, pool spawns, worker utilization — honest observations
+  about *this* run's scheduling that no golden may compare).  With
+  ``deterministic=True`` every wall-clock-derived field is zeroed, which is
+  the form the telemetry-summary golden pins.
+
+The split rule is mechanical: metric and span names starting with ``exec_``
+are execution-side, as is every ``wall_s`` field.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import MetricsRegistry, base_name, is_exec_metric
+from .telemetry import Telemetry
+
+#: Bump when the JSONL line layout changes.
+SCHEMA_VERSION = 1
+
+
+def write_jsonl(telemetry: Telemetry, path: str | Path) -> None:
+    """Write ``telemetry``'s full stream to ``path`` as JSON Lines."""
+    path = Path(path)
+    snapshot = telemetry.metrics.to_dict()
+    with path.open("w") as fh:
+        fh.write(json.dumps({"type": "meta", "schema": SCHEMA_VERSION}) + "\n")
+        for record in telemetry.spans.records:
+            fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        for kind in ("counters", "gauges"):
+            for name, value in snapshot[kind].items():
+                fh.write(json.dumps({
+                    "type": "metric", "kind": kind[:-1], "name": name, "value": value,
+                }, sort_keys=True) + "\n")
+        for name, hist in snapshot["histograms"].items():
+            fh.write(json.dumps({
+                "type": "metric", "kind": "histogram", "name": name, "hist": hist,
+            }, sort_keys=True) + "\n")
+
+
+def read_jsonl(path: str | Path) -> tuple[list[dict], MetricsRegistry]:
+    """Parse a stream written by :func:`write_jsonl`.
+
+    Returns the span/event records plus the reconstructed registry.
+    Raises ``ValueError`` on a malformed line or an unknown schema.
+    """
+    records: list[dict] = []
+    payload = {"counters": {}, "gauges": {}, "histograms": {}}
+    for i, line in enumerate(Path(path).read_text().splitlines()):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise ValueError(f"{path}:{i + 1}: not JSON ({e})") from None
+        kind = obj.get("type")
+        if kind == "meta":
+            if obj.get("schema") != SCHEMA_VERSION:
+                raise ValueError(
+                    f"{path}: schema {obj.get('schema')!r} != {SCHEMA_VERSION}"
+                )
+        elif kind in ("span_start", "span_end", "event"):
+            records.append(obj)
+        elif kind == "metric":
+            if obj["kind"] == "histogram":
+                payload["histograms"][obj["name"]] = obj["hist"]
+            else:
+                payload[obj["kind"] + "s"][obj["name"]] = obj["value"]
+        else:
+            raise ValueError(f"{path}:{i + 1}: unknown record type {kind!r}")
+    return records, MetricsRegistry.from_dict(payload)
+
+
+def _split(snapshot: dict) -> tuple[dict, dict]:
+    """(measurement, execution) halves of a metrics snapshot."""
+    meas = {"counters": {}, "gauges": {}, "histograms": {}}
+    execu = {"counters": {}, "gauges": {}, "histograms": {}}
+    for kind in meas:
+        for key, value in snapshot[kind].items():
+            (execu if is_exec_metric(key) else meas)[kind][key] = value
+    return meas, execu
+
+
+def summarize(
+    source: Telemetry | tuple[list[dict], MetricsRegistry],
+    *,
+    deterministic: bool = False,
+) -> dict:
+    """Aggregate a telemetry stream into the two-part run summary.
+
+    ``source`` is a live :class:`Telemetry` or the ``(records, registry)``
+    pair from :func:`read_jsonl`.  ``deterministic=True`` zeroes every
+    wall-clock-derived field (``wall_s`` totals and ``*utilization*``
+    gauges) so the result is a pure function of the measurement inputs —
+    the form goldens compare and the serial-vs-parallel equivalence tests
+    assert on.
+    """
+    if isinstance(source, Telemetry):
+        records, registry = source.spans.records, source.metrics
+    else:
+        records, registry = source
+    meas_metrics, exec_metrics = _split(registry.to_dict())
+
+    span_counts: dict[str, dict] = {}
+    exec_spans: dict[str, dict] = {}
+    event_counts: dict[str, int] = {}
+    exec_events: dict[str, int] = {}
+    unbalanced = 0
+    for r in records:
+        name = r["name"]
+        is_exec = base_name(name).startswith("exec_")
+        if r["type"] == "span_start":
+            unbalanced += 1
+        elif r["type"] == "span_end":
+            unbalanced -= 1
+            agg = (exec_spans if is_exec else span_counts).setdefault(
+                name, {"count": 0, "cycles": 0.0, "wall_s": 0.0}
+            )
+            agg["count"] += 1
+            agg["cycles"] += r.get("cycles", 0.0)
+            agg["wall_s"] += r.get("wall_s", 0.0)
+        elif r["type"] == "event":
+            bucket = exec_events if is_exec else event_counts
+            bucket[name] = bucket.get(name, 0) + 1
+
+    wall_total = sum(a["wall_s"] for a in span_counts.values()) + sum(
+        a["wall_s"] for a in exec_spans.values()
+    )
+    # measurement spans report only deterministic fields; their wall time
+    # moves to the execution half's per-name map
+    meas_spans = {
+        n: {"count": a["count"], "cycles": a["cycles"]}
+        for n, a in sorted(span_counts.items())
+    }
+    span_wall = {
+        n: a["wall_s"]
+        for n, a in sorted({**span_counts, **exec_spans}.items())
+    }
+    summary = {
+        "schema": SCHEMA_VERSION,
+        "measurement": {
+            **meas_metrics,
+            "spans": meas_spans,
+            "events": {n: event_counts[n] for n in sorted(event_counts)},
+            "unbalanced_spans": unbalanced,
+        },
+        "execution": {
+            **exec_metrics,
+            "spans": {n: dict(exec_spans[n]) for n in sorted(exec_spans)},
+            "events": {n: exec_events[n] for n in sorted(exec_events)},
+            "span_wall_s": span_wall,
+            "wall_s_total": wall_total,
+        },
+    }
+    if deterministic:
+        execu = summary["execution"]
+        execu["wall_s_total"] = 0.0
+        for agg in execu["spans"].values():
+            agg["wall_s"] = 0.0
+        execu["span_wall_s"] = {n: 0.0 for n in execu["span_wall_s"]}
+        for key in execu["gauges"]:
+            if "utilization" in base_name(key):
+                execu["gauges"][key] = 0.0
+    return summary
+
+
+def format_report(summary: dict) -> str:
+    """Human-readable run report for ``repro stats``."""
+    meas, execu = summary["measurement"], summary["execution"]
+    lines = ["# telemetry run report"]
+
+    def metric_rows(section: dict, title: str) -> None:
+        counters, gauges, hists = section["counters"], section["gauges"], section["histograms"]
+        if not (counters or gauges or hists):
+            return
+        lines.append(f"-- {title}")
+        for name, v in counters.items():
+            lines.append(f"{name:44s} {v:12g}")
+        for name, v in gauges.items():
+            lines.append(f"{name:44s} {v:12.3f}  (gauge)")
+        for name, h in hists.items():
+            mean = h["total"] / h["count"] if h["count"] else 0.0
+            lines.append(
+                f"{name:44s} n={h['count']:<6d} mean={mean:<12g} "
+                f"min={h['min']:g} max={h['max']:g}"
+            )
+
+    metric_rows(meas, "measurement metrics")
+    metric_rows(execu, "execution metrics")
+
+    all_spans = list(meas["spans"].items()) + list(execu["spans"].items())
+    if all_spans:
+        lines.append("-- spans")
+        lines.append(f"{'name':30s} {'count':>7} {'sim cycles':>14} {'wall s':>10}")
+        for name, agg in all_spans:
+            wall = execu.get("span_wall_s", {}).get(name, 0.0)
+            lines.append(
+                f"{name:30s} {agg['count']:7d} {agg['cycles']:14.0f} {wall:10.3f}"
+            )
+
+    events = {**meas["events"], **execu["events"]}
+    if events:
+        lines.append("-- events")
+        for name, n in events.items():
+            lines.append(f"{name:44s} {n:7d}")
+    if meas.get("unbalanced_spans"):
+        lines.append(f"WARNING: {meas['unbalanced_spans']} span(s) never closed")
+    lines.append(f"total instrumented wall time: {execu['wall_s_total']:.3f}s")
+    return "\n".join(lines)

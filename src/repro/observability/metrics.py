@@ -1,0 +1,208 @@
+"""Typed run metrics: counters, gauges and histograms.
+
+The registry is the numeric half of the telemetry layer (spans are the
+structural half, :mod:`repro.observability.spans`).  Every harness decision
+the resilience and parallel engines make at runtime — a retry escalation, a
+settle co-run, a sweep-cache hit, a degraded point — lands here as a named
+metric, so a finished run can answer "how many intervals did the fetch-ratio
+check reject?" without re-running anything.
+
+Aggregation is **order-independent by construction**, because sweeps merge
+worker-side registries in whatever order is convenient and the merged result
+must not depend on completion order:
+
+* counters add,
+* gauges keep the maximum (they are high-watermark gauges — e.g. the deepest
+  retry attempt seen),
+* histograms have *fixed* bucket bounds and merge by summing bucket counts
+  and totals and combining min/max.
+
+``tests/test_observability_props.py`` pins these merge laws with hypothesis.
+
+Names are plain strings; optional labels are folded into the name as a
+canonical ``name{k=v,...}`` suffix with sorted keys.  Names starting with
+``exec_`` describe the *execution* (pool spawns, worker utilization) rather
+than the *measurement*, and are excluded from the deterministic half of the
+exported summary — see :mod:`repro.observability.export`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: 1-2-5 decade series: fixed bounds make histogram merges order-independent.
+DEFAULT_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    m * 10.0**e for e in range(0, 10) for m in (1.0, 2.0, 5.0)
+)
+
+#: Prefix marking execution-side metrics (pool spawns, utilization, chunks):
+#: real observations about *this* run's scheduling, deliberately excluded
+#: from the deterministic measurement summary that goldens compare.
+EXEC_PREFIX = "exec_"
+
+
+def metric_key(name: str, labels: dict | None = None) -> str:
+    """Canonical registry key: ``name`` or ``name{k=v,...}`` with sorted keys."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def base_name(key: str) -> str:
+    """The metric name of a registry key, with any label suffix stripped."""
+    brace = key.find("{")
+    return key if brace < 0 else key[:brace]
+
+
+def is_exec_metric(key: str) -> bool:
+    """True for execution-side metrics (``exec_`` prefix)."""
+    return base_name(key).startswith(EXEC_PREFIX)
+
+
+@dataclass
+class Histogram:
+    """A mergeable fixed-bucket histogram.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``; one overflow
+    bucket counts the rest.  Because every histogram of a given name shares
+    :data:`DEFAULT_BUCKET_BOUNDS`, merging two histograms is a pure
+    element-wise sum — no rebinning, no order dependence.
+    """
+
+    bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS
+    bucket_counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def __post_init__(self) -> None:
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (commutative, associative)."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for i, c in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += c
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-stable snapshot (empty histograms drop the infinite min/max)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": {
+                f"le_{bound:g}": n
+                for bound, n in zip(self.bounds, self.bucket_counts)
+                if n
+            }
+            | ({"overflow": self.bucket_counts[-1]} if self.bucket_counts[-1] else {}),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Histogram":
+        h = cls()
+        h.count = payload["count"]
+        h.total = payload["total"]
+        if h.count:
+            h.min = payload["min"]
+            h.max = payload["max"]
+        by_bound = payload.get("buckets", {})
+        for i, bound in enumerate(h.bounds):
+            h.bucket_counts[i] = by_bound.get(f"le_{bound:g}", 0)
+        h.bucket_counts[-1] = by_bound.get("overflow", 0)
+        return h
+
+
+class MetricsRegistry:
+    """The typed metric store one telemetry collector owns.
+
+    Plain dicts keyed by :func:`metric_key`; picklable, so a registry built
+    inside a pool worker rides back to the parent inside a
+    :class:`~repro.observability.telemetry.TelemetryFragment`.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        """Add ``value`` to the counter ``name`` (created at 0)."""
+        key = metric_key(name, labels)
+        self.counters[key] = self.counters.get(key, 0.0) + value
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Record a high-watermark gauge: the largest value set wins."""
+        key = metric_key(name, labels)
+        prior = self.gauges.get(key)
+        self.gauges[key] = value if prior is None else max(prior, value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Add one observation to the histogram ``name``."""
+        key = metric_key(name, labels)
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram()
+        hist.observe(value)
+
+    def counter_value(self, name: str, **labels) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self.counters.get(metric_key(name, labels), 0.0)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in; commutative and associative per metric."""
+        for key, v in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0.0) + v
+        for key, v in other.gauges.items():
+            prior = self.gauges.get(key)
+            self.gauges[key] = v if prior is None else max(prior, v)
+        for key, h in other.histograms.items():
+            mine = self.histograms.get(key)
+            if mine is None:
+                mine = self.histograms[key] = Histogram(bounds=h.bounds)
+            mine.merge(h)
+
+    def to_dict(self) -> dict:
+        """Sorted, JSON-stable snapshot of every metric."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].to_dict() for k in sorted(self.histograms)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricsRegistry":
+        reg = cls()
+        reg.counters.update(payload.get("counters", {}))
+        reg.gauges.update(payload.get("gauges", {}))
+        for key, h in payload.get("histograms", {}).items():
+            reg.histograms[key] = Histogram.from_dict(h)
+        return reg

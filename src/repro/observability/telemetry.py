@@ -1,0 +1,179 @@
+"""The telemetry facade the harnesses talk to.
+
+One :class:`Telemetry` object bundles the two halves of the observability
+layer — a :class:`~repro.observability.spans.SpanRecorder` and a
+:class:`~repro.observability.metrics.MetricsRegistry` — behind the small
+surface instrumented code calls: ``span``, ``event``, ``count``, ``gauge``,
+``observe``.
+
+Two properties the measurement engine depends on:
+
+* **Zero cost when disabled.**  Every harness entry point defaults to the
+  :data:`NULL_TELEMETRY` singleton, whose methods do nothing and whose
+  spans are one shared inert object — an uninstrumented run allocates no
+  records, no registries, nothing per interval.
+* **Picklable across worker boundaries.**  A pool worker measuring a sweep
+  point collects into its own ``Telemetry`` and ships the result back as a
+  :class:`TelemetryFragment` (plain records + a metrics snapshot) riding on
+  the :class:`~repro.core.parallel.PointResult`.  The parent absorbs
+  fragments in *point-index order*, so the merged stream and the aggregated
+  summary are independent of completion order — serial and parallel runs of
+  the same sweep aggregate identically (modulo wall-clock timing fields).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .metrics import MetricsRegistry
+from .spans import Span, SpanRecorder
+
+
+@dataclass
+class TelemetryFragment:
+    """A collector's transportable state: records plus a metrics snapshot.
+
+    Pure data (dicts, lists, floats), so it pickles across process
+    boundaries and JSON-serializes without custom hooks.
+    """
+
+    records: list[dict] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+
+class Telemetry:
+    """A live telemetry collector (spans + metrics + events)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans = SpanRecorder()
+        self.metrics = MetricsRegistry()
+
+    # -- instrumentation surface ----------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        """A nested span; open it with ``with``."""
+        return self.spans.span(name, **attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point annotation inside the current span."""
+        self.spans.event(name, **attrs)
+
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        """Increment the counter ``name`` by ``value``."""
+        self.metrics.inc(name, value, **labels)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Record a high-watermark gauge."""
+        self.metrics.gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Add an observation to the histogram ``name``."""
+        self.metrics.observe(name, value, **labels)
+
+    # -- worker transport -----------------------------------------------------------
+
+    def fragment(self) -> TelemetryFragment:
+        """This collector's state as transportable pure data."""
+        return TelemetryFragment(
+            records=list(self.spans.records), metrics=self.metrics.to_dict()
+        )
+
+    def absorb(self, fragment: TelemetryFragment | None) -> None:
+        """Merge a child collector's fragment into this one.
+
+        Records are spliced under the currently open span (IDs re-based);
+        metrics merge per the registry's order-independent laws.
+        """
+        if fragment is None:
+            return
+        self.spans.absorb(fragment.records)
+        self.metrics.merge(MetricsRegistry.from_dict(fragment.metrics))
+
+    # -- export ---------------------------------------------------------------------
+
+    def summary(self, *, deterministic: bool = False) -> dict:
+        """Aggregated run summary; see :func:`repro.observability.export.summarize`."""
+        from .export import summarize
+
+        return summarize(self, deterministic=deterministic)
+
+    def export_jsonl(self, path) -> None:
+        """Write the full event stream (plus a metrics snapshot) as JSONL."""
+        from .export import write_jsonl
+
+        write_jsonl(self, path)
+
+
+class _NullSpan:
+    """The shared inert span handed out by :class:`NullTelemetry`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def annotate(self, **attrs) -> None:
+        return None
+
+    def add_cycles(self, cycles: float) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def _null_telemetry() -> "NullTelemetry":
+    return NULL_TELEMETRY
+
+
+class NullTelemetry:
+    """The do-nothing collector installed when telemetry is off.
+
+    Every method is a no-op and :meth:`span` returns one shared inert
+    object, so instrumented code pays a method call and nothing else.
+    Pickles to the singleton, so a disabled telemetry crossing a worker
+    boundary stays disabled (and stays a singleton) on the other side.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        return None
+
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        return None
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        return None
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        return None
+
+    def fragment(self) -> None:
+        return None
+
+    def absorb(self, fragment) -> None:
+        return None
+
+    def summary(self, *, deterministic: bool = False) -> dict:
+        return {}
+
+    def __reduce__(self):
+        return (_null_telemetry, ())
+
+
+#: The process-wide disabled collector; harnesses default to this.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def ensure_telemetry(telemetry: Telemetry | NullTelemetry | None):
+    """``telemetry`` itself, or the null collector for ``None``."""
+    return NULL_TELEMETRY if telemetry is None else telemetry

@@ -5,13 +5,44 @@ seed — CI runs the suite once in file order and once rotated, so a test
 that only passes because an earlier test warmed some state (module import
 side effects, caches, global RNG) fails loudly instead of silently riding
 along.  Unset (the default), collection order is untouched.
+
+The hypothesis profile is pinned for reproducibility: by default examples
+are derandomized (every run draws the same examples), and
+``HYPOTHESIS_SEED=<int>`` seeds every property test with that value
+instead — CI's property job uses the pipeline number to vary coverage per
+run while keeping any failure replayable by exporting the same seed
+locally.
 """
 
 import os
 import random
 
+try:
+    from hypothesis import settings
+
+    settings.register_profile(
+        "repro",
+        derandomize=os.environ.get("HYPOTHESIS_SEED") is None,
+        deadline=None,
+        print_blob=True,
+    )
+    settings.load_profile("repro")
+except ImportError:  # pragma: no cover - hypothesis is an optional test dep
+    pass
+
 
 def pytest_collection_modifyitems(config, items):
+    hyp_seed = os.environ.get("HYPOTHESIS_SEED")
+    if hyp_seed:
+        try:
+            from hypothesis import seed as hypothesis_seed
+        except ImportError:
+            pass
+        else:
+            for item in items:
+                fn = getattr(item, "obj", None)
+                if fn is not None and getattr(fn, "is_hypothesis_test", False):
+                    hypothesis_seed(int(hyp_seed))(fn)
     seed = os.environ.get("REPRO_TEST_ORDER_SEED")
     if not seed:
         return
@@ -19,7 +50,11 @@ def pytest_collection_modifyitems(config, items):
 
 
 def pytest_report_header(config):
+    parts = []
     seed = os.environ.get("REPRO_TEST_ORDER_SEED")
     if seed:
-        return f"test order shuffled: REPRO_TEST_ORDER_SEED={seed}"
-    return None
+        parts.append(f"test order shuffled: REPRO_TEST_ORDER_SEED={seed}")
+    hyp_seed = os.environ.get("HYPOTHESIS_SEED")
+    if hyp_seed:
+        parts.append(f"property tests seeded: HYPOTHESIS_SEED={hyp_seed}")
+    return parts or None

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.core import measure_curve_fixed
 from repro.experiments import fig4_micro
 from repro.experiments.scale import Scale
+from repro.observability import Telemetry
 from repro.workloads import TargetSpec
 
 #: shrunken scale for the fig4 golden: three sizes, short everything
@@ -59,8 +60,22 @@ def fig4_scenario() -> dict:
     }
 
 
+def fig4_telemetry_scenario() -> dict:
+    """The telemetry summary of the Fig. 4 golden run, deterministic form.
+
+    ``deterministic=True`` zeroes every wall-clock-derived field, so the
+    summary is a pure function of the measurement inputs: counter values,
+    event counts, span counts and their simulated-cycle totals must all
+    reproduce bit-for-bit.
+    """
+    tel = Telemetry()
+    fig4_micro.run(GOLDEN_SCALE, seed=3, workers=0, working_set_mb=1.0, telemetry=tel)
+    return tel.summary(deterministic=True)
+
+
 #: golden file stem -> scenario builder
 SCENARIOS = {
     "fixed_curve": fixed_curve_scenario,
     "fig4_micro": fig4_scenario,
+    "fig4_telemetry": fig4_telemetry_scenario,
 }

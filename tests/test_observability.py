@@ -1,0 +1,379 @@
+"""Unit tests for the telemetry layer: spans, metrics, export.
+
+Structural invariants (nesting, LIFO enforcement, ID re-basing on absorb),
+the null collector's zero-cost contract, the registry's merge laws, and the
+JSONL round-trip.  The randomized versions of the merge/balance laws live in
+``tests/test_observability_props.py``; this file pins the concrete corners.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.observability import (
+    NULL_TELEMETRY,
+    Telemetry,
+    TelemetryFragment,
+    format_report,
+    read_jsonl,
+    summarize,
+    write_jsonl,
+)
+from repro.observability.export import SCHEMA_VERSION
+from repro.observability.metrics import (
+    DEFAULT_BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    base_name,
+    is_exec_metric,
+    metric_key,
+)
+from repro.observability.telemetry import ensure_telemetry
+
+
+# -- spans -------------------------------------------------------------------------
+
+
+def test_span_nesting_assigns_sequential_ids_parents_and_depths():
+    tel = Telemetry()
+    with tel.span("outer", size_mb=4.0) as outer:
+        with tel.span("inner") as inner:
+            with tel.span("leaf") as leaf:
+                pass
+        with tel.span("sibling") as sibling:
+            pass
+    assert outer.span_id == 0
+    assert inner.span_id == 1 and inner.parent_id == 0 and inner.depth == 1
+    assert leaf.span_id == 2 and leaf.parent_id == 1 and leaf.depth == 2
+    assert sibling.parent_id == 0 and sibling.depth == 1
+    assert tel.spans.open_depth == 0
+    starts = [r for r in tel.spans.records if r["type"] == "span_start"]
+    ends = [r for r in tel.spans.records if r["type"] == "span_end"]
+    assert [r["id"] for r in starts] == [0, 1, 2, sibling.span_id]
+    assert {r["id"] for r in ends} == {r["id"] for r in starts}
+    assert starts[0]["attrs"] == {"size_mb": 4.0}
+
+
+def test_events_attach_to_the_open_span_or_root():
+    tel = Telemetry()
+    tel.event("orphan", n=1)
+    with tel.span("work") as sp:
+        tel.event("inside")
+    events = [r for r in tel.spans.records if r["type"] == "event"]
+    assert events[0]["span"] is None and events[0]["attrs"] == {"n": 1}
+    assert events[1]["span"] == sp.span_id
+
+
+def test_closing_out_of_order_raises():
+    tel = Telemetry()
+    outer = tel.span("outer")
+    inner = tel.span("inner")
+    outer.__enter__()
+    inner.__enter__()
+    with pytest.raises(ValueError, match="out of order"):
+        outer.__exit__(None, None, None)
+
+
+def test_reopening_a_closed_span_raises():
+    tel = Telemetry()
+    sp = tel.span("once")
+    with sp:
+        pass
+    with pytest.raises(ValueError, match="reopened"):
+        sp.__enter__()
+
+
+def test_exception_unwinds_and_records_the_error():
+    tel = Telemetry()
+    with pytest.raises(RuntimeError):
+        with tel.span("outer"):
+            with tel.span("inner"):
+                raise RuntimeError("boom")
+    assert tel.spans.open_depth == 0
+    ends = [r for r in tel.spans.records if r["type"] == "span_end"]
+    assert [r.get("error") for r in ends] == ["RuntimeError", "RuntimeError"]
+    assert tel.summary()["measurement"]["unbalanced_spans"] == 0
+
+
+def test_add_cycles_accumulates_and_annotate_updates_attrs():
+    tel = Telemetry()
+    with tel.span("interval", attempt=1) as sp:
+        sp.add_cycles(100.0)
+        sp.add_cycles(50.0)
+        sp.annotate(attempt=2, retried=True)
+    end = tel.spans.records[-1]
+    assert end["cycles"] == 150.0
+    assert sp.attrs == {"attempt": 2, "retried": True}
+
+
+# -- the null collector ------------------------------------------------------------
+
+
+def test_null_telemetry_is_inert_and_shared():
+    assert NULL_TELEMETRY.enabled is False
+    sp1 = NULL_TELEMETRY.span("a", x=1)
+    sp2 = NULL_TELEMETRY.span("b")
+    assert sp1 is sp2  # one shared inert span, no allocation per call
+    with sp1 as got:
+        got.add_cycles(10.0)
+        got.annotate(x=2)
+    NULL_TELEMETRY.event("e")
+    NULL_TELEMETRY.count("c")
+    NULL_TELEMETRY.gauge("g", 1.0)
+    NULL_TELEMETRY.observe("h", 1.0)
+    assert NULL_TELEMETRY.fragment() is None
+    assert NULL_TELEMETRY.summary() == {}
+
+
+def test_null_telemetry_pickles_to_the_singleton():
+    clone = pickle.loads(pickle.dumps(NULL_TELEMETRY))
+    assert clone is NULL_TELEMETRY
+
+
+def test_ensure_telemetry_maps_none_to_null():
+    assert ensure_telemetry(None) is NULL_TELEMETRY
+    tel = Telemetry()
+    assert ensure_telemetry(tel) is tel
+    assert ensure_telemetry(NULL_TELEMETRY) is NULL_TELEMETRY
+
+
+# -- metrics -----------------------------------------------------------------------
+
+
+def test_metric_key_folds_labels_sorted():
+    assert metric_key("hits") == "hits"
+    assert metric_key("hits", {"b": 2, "a": 1}) == "hits{a=1,b=2}"
+    assert base_name("hits{a=1,b=2}") == "hits"
+    assert is_exec_metric("exec_pool_spawns_total{pid=7}")
+    assert not is_exec_metric("retries_total")
+
+
+def test_counters_add_and_gauges_keep_the_maximum():
+    reg = MetricsRegistry()
+    reg.inc("n")
+    reg.inc("n", 2.0)
+    reg.inc("n", 1.0, core=0)
+    assert reg.counter_value("n") == 3.0
+    assert reg.counter_value("n", core=0) == 1.0
+    assert reg.counter_value("never") == 0.0
+    reg.gauge("depth", 2.0)
+    reg.gauge("depth", 5.0)
+    reg.gauge("depth", 3.0)
+    assert reg.gauges["depth"] == 5.0
+
+
+def test_histogram_observe_buckets_and_stats():
+    h = Histogram()
+    for v in (1.0, 3.0, 150.0):
+        h.observe(v)
+    assert h.count == 3 and h.total == 154.0
+    assert h.min == 1.0 and h.max == 150.0 and h.mean == pytest.approx(154.0 / 3)
+    d = h.to_dict()
+    # 1.0 <= 1, 3.0 <= 5, 150.0 <= 200
+    assert d["buckets"] == {"le_1": 1, "le_5": 1, "le_200": 1}
+    assert Histogram.from_dict(d).to_dict() == d
+
+
+def test_histogram_overflow_bucket_and_empty_snapshot():
+    h = Histogram()
+    h.observe(10.0 ** 12)  # past the largest bound
+    assert h.to_dict()["buckets"] == {"overflow": 1}
+    empty = Histogram().to_dict()
+    assert empty["count"] == 0 and empty["min"] == 0.0 and empty["max"] == 0.0
+    assert Histogram.from_dict(empty).count == 0
+
+
+def test_histogram_merge_requires_identical_bounds():
+    a, b = Histogram(), Histogram(bounds=(1.0, 2.0))
+    with pytest.raises(ValueError, match="bounds"):
+        a.merge(b)
+
+
+def test_registry_merge_is_commutative_here():
+    def build(values):
+        reg = MetricsRegistry()
+        for v in values:
+            reg.inc("c", v)
+            reg.gauge("g", v)
+            reg.observe("h", v)
+        return reg
+
+    ab = build([1, 2])
+    ab.merge(build([3]))
+    ba = build([3])
+    ba.merge(build([1, 2]))
+    assert ab.to_dict() == ba.to_dict()
+
+
+def test_registry_round_trips_through_dict():
+    reg = MetricsRegistry()
+    reg.inc("retries_total", 2.0)
+    reg.gauge("retry_attempts_max", 3.0, point=1)
+    reg.observe("settle", 7.0)
+    clone = MetricsRegistry.from_dict(reg.to_dict())
+    assert clone.to_dict() == reg.to_dict()
+
+
+# -- fragments and absorb ----------------------------------------------------------
+
+
+def _child_fragment():
+    child = Telemetry()
+    with child.span("point", index=0):
+        with child.span("interval"):
+            child.event("interval_invalid", reason="pirate_hot")
+        child.count("intervals_total")
+    return child.fragment()
+
+
+def test_absorb_rebases_ids_and_reparents_roots():
+    parent = Telemetry()
+    with parent.span("sweep") as sweep:
+        parent.absorb(_child_fragment())
+        parent.absorb(_child_fragment())
+    records = parent.spans.records
+    # a span's start and end share one id; every *allocation* (span open,
+    # event) must be globally unique after re-basing
+    ids = [r["id"] for r in records if r["type"] != "span_end"]
+    assert len(ids) == len(set(ids))
+    roots = [
+        r for r in records
+        if r["type"] == "span_start" and r["name"] == "point"
+    ]
+    assert len(roots) == 2
+    assert all(r["parent"] == sweep.span_id for r in roots)
+    assert all(r["depth"] == 1 for r in roots)
+    intervals = [
+        r for r in records
+        if r["type"] == "span_start" and r["name"] == "interval"
+    ]
+    assert all(r["depth"] == 2 for r in intervals)
+    # events re-point at the re-based owning span
+    events = [r for r in records if r["type"] == "event"]
+    interval_ids = {r["id"] for r in intervals}
+    assert all(r["span"] in interval_ids for r in events)
+    assert parent.metrics.counter_value("intervals_total") == 2.0
+    assert parent.summary()["measurement"]["unbalanced_spans"] == 0
+
+
+def test_absorb_none_and_empty_are_noops():
+    tel = Telemetry()
+    tel.absorb(None)
+    tel.absorb(TelemetryFragment())
+    assert tel.spans.records == []
+
+
+def test_fragment_is_picklable_pure_data():
+    frag = _child_fragment()
+    clone = pickle.loads(pickle.dumps(frag))
+    assert clone.records == frag.records
+    assert clone.metrics == frag.metrics
+
+
+# -- export: JSONL + summary -------------------------------------------------------
+
+
+def _sample_run():
+    tel = Telemetry()
+    with tel.span("sweep", n_points=1):
+        with tel.span("point", index=0) as sp:
+            sp.add_cycles(1000.0)
+            tel.event("retry_escalation", attempt=1, reasons=["pirate_hot"])
+            tel.count("retries_total")
+        tel.count("exec_pool_spawns_total")
+        tel.gauge("exec_worker_utilization", 0.8)
+        with tel.span("exec_pool", workers=2):
+            tel.event("exec_chunk_done", chunk=0)
+        tel.observe("settle_ticks", 3.0)
+    return tel
+
+
+def test_jsonl_round_trip(tmp_path):
+    tel = _sample_run()
+    path = tmp_path / "run.jsonl"
+    write_jsonl(tel, path)
+    lines = [json.loads(s) for s in path.read_text().splitlines()]
+    assert lines[0] == {"type": "meta", "schema": SCHEMA_VERSION}
+    records, registry = read_jsonl(path)
+    assert records == tel.spans.records
+    assert registry.to_dict() == tel.metrics.to_dict()
+    # summarizing the parsed stream equals summarizing the live collector
+    assert summarize((records, registry)) == summarize(tel)
+
+
+def test_export_jsonl_method_matches_write_jsonl(tmp_path):
+    tel = _sample_run()
+    tel.export_jsonl(tmp_path / "a.jsonl")
+    write_jsonl(tel, tmp_path / "b.jsonl")
+    assert (tmp_path / "a.jsonl").read_text() == (tmp_path / "b.jsonl").read_text()
+
+
+@pytest.mark.parametrize(
+    "line, match",
+    [
+        ("not json at all {", "not JSON"),
+        ('{"type": "meta", "schema": 999}', "schema"),
+        ('{"type": "mystery"}', "unknown record type"),
+    ],
+)
+def test_read_jsonl_rejects_malformed_streams(tmp_path, line, match):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(line + "\n")
+    with pytest.raises(ValueError, match=match):
+        read_jsonl(path)
+
+
+def test_summarize_splits_measurement_from_execution():
+    summary = _sample_run().summary()
+    meas, execu = summary["measurement"], summary["execution"]
+    assert meas["counters"] == {"retries_total": 1.0}
+    assert "exec_pool_spawns_total" in execu["counters"]
+    assert "exec_worker_utilization" in execu["gauges"]
+    assert set(meas["spans"]) == {"sweep", "point"}
+    assert set(execu["spans"]) == {"exec_pool"}
+    assert meas["events"] == {"retry_escalation": 1}
+    assert execu["events"] == {"exec_chunk_done": 1}
+    assert meas["spans"]["point"]["cycles"] == 1000.0
+    assert "wall_s" not in meas["spans"]["point"]  # wall time is exec-side
+    assert set(execu["span_wall_s"]) == {"sweep", "point", "exec_pool"}
+    assert meas["unbalanced_spans"] == 0
+    assert meas["histograms"]["settle_ticks"]["count"] == 1
+
+
+def test_deterministic_summary_zeroes_every_wall_field():
+    summary = _sample_run().summary(deterministic=True)
+    execu = summary["execution"]
+    assert execu["wall_s_total"] == 0.0
+    assert all(v == 0.0 for v in execu["span_wall_s"].values())
+    assert all(a["wall_s"] == 0.0 for a in execu["spans"].values())
+    assert execu["gauges"]["exec_worker_utilization"] == 0.0
+    # and is pure data: identical across repeated summarization
+    assert summary == _sample_run().summary(deterministic=True)
+
+
+def test_summarize_counts_unbalanced_spans():
+    tel = Telemetry()
+    tel.span("leak").__enter__()
+    assert tel.summary()["measurement"]["unbalanced_spans"] == 1
+    assert "never closed" in format_report(tel.summary())
+
+
+def test_format_report_renders_all_sections():
+    report = format_report(_sample_run().summary())
+    for needle in (
+        "telemetry run report",
+        "measurement metrics",
+        "execution metrics",
+        "retries_total",
+        "exec_worker_utilization",
+        "-- spans",
+        "retry_escalation",
+        "total instrumented wall time",
+    ):
+        assert needle in report
+
+
+def test_default_bucket_bounds_are_sorted_and_fixed():
+    assert list(DEFAULT_BUCKET_BOUNDS) == sorted(DEFAULT_BUCKET_BOUNDS)
+    assert DEFAULT_BUCKET_BOUNDS[0] == 1.0

@@ -1,0 +1,208 @@
+"""Property-based invariants of the telemetry layer.
+
+Three laws the measurement engine depends on, pinned with hypothesis:
+
+* **Balance** — every span stream balances (one ``span_end`` per
+  ``span_start``, consistent parents/depths), for *any* nesting shape and
+  even when exceptions unwind through open spans.
+* **Order-independence** — merging metric registries is commutative and
+  associative, so a sweep's aggregated metrics cannot depend on worker
+  completion order.  (Observations are integer-valued here so float sums
+  are exact; the engine's own metrics are counts, so this is the law that
+  actually matters.)
+* **Serial/parallel equivalence** — the same sweep measured in-process and
+  through the process pool produces identical curves *and* identical
+  measurement-half telemetry summaries; only ``exec_``/wall fields differ.
+
+The hypothesis profile lives in ``tests/conftest.py``: derandomized by
+default, seeded exploration when ``HYPOTHESIS_SEED`` is set.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import measure_curve_fixed
+from repro.observability import Telemetry
+from repro.observability.metrics import MetricsRegistry
+from repro.workloads import TargetSpec
+
+# -- strategies --------------------------------------------------------------------
+
+NAMES = ("sweep", "point", "interval", "warmup", "attempt")
+
+#: (name, raises, children) trees of bounded size
+span_trees = st.recursive(
+    st.tuples(st.sampled_from(NAMES), st.booleans(), st.just(())),
+    lambda node: st.tuples(
+        st.sampled_from(NAMES),
+        st.booleans(),
+        st.lists(node, max_size=3).map(tuple),
+    ),
+    max_leaves=16,
+)
+
+
+class Boom(Exception):
+    pass
+
+
+def _run_tree(tel, node):
+    name, raises, children = node
+    with tel.span(name) as sp:
+        sp.add_cycles(1.0)
+        for child in children:
+            _run_tree(tel, child)
+        if raises:
+            raise Boom(name)
+
+
+def _record_tree(tree):
+    """Execute a random span tree; exceptions unwind to the caller's catch."""
+    tel = Telemetry()
+    try:
+        with tel.span("root"):
+            _run_tree(tel, tree)
+    except Boom:
+        pass
+    return tel
+
+
+# -- balance -----------------------------------------------------------------------
+
+
+@given(tree=span_trees)
+def test_span_streams_always_balance(tree):
+    tel = _record_tree(tree)
+    assert tel.spans.open_depth == 0
+    records = tel.spans.records
+    starts = [r for r in records if r["type"] == "span_start"]
+    ends = [r for r in records if r["type"] == "span_end"]
+    assert len(starts) == len(ends)
+    assert {r["id"] for r in starts} == {r["id"] for r in ends}
+    assert tel.summary()["measurement"]["unbalanced_spans"] == 0
+
+
+@given(tree=span_trees)
+def test_span_streams_replay_as_a_well_formed_stack(tree):
+    """Parents and depths are consistent when the stream is replayed."""
+    stack = []
+    for r in _record_tree(tree).spans.records:
+        if r["type"] == "span_start":
+            expected_parent = stack[-1] if stack else None
+            assert r["parent"] == expected_parent
+            assert r["depth"] == len(stack)
+            stack.append(r["id"])
+        elif r["type"] == "span_end":
+            assert stack and stack[-1] == r["id"]
+            stack.pop()
+        else:  # events always belong to the currently open span (or root)
+            assert r["span"] == (stack[-1] if stack else None)
+    assert stack == []
+
+
+@given(trees=st.lists(span_trees, min_size=1, max_size=3))
+def test_absorbed_streams_stay_balanced_and_unique(trees):
+    parent = Telemetry()
+    with parent.span("sweep") as sweep:
+        for tree in trees:
+            parent.absorb(_record_tree(tree).fragment())
+    records = parent.spans.records
+    alloc_ids = [r["id"] for r in records if r["type"] != "span_end"]
+    assert len(alloc_ids) == len(set(alloc_ids))
+    roots = [
+        r for r in records
+        if r["type"] == "span_start" and r["name"] == "root"
+    ]
+    assert len(roots) == len(trees)
+    assert all(r["parent"] == sweep.span_id and r["depth"] == 1 for r in roots)
+    assert parent.summary()["measurement"]["unbalanced_spans"] == 0
+
+
+# -- metric merge laws -------------------------------------------------------------
+
+metric_ops = st.lists(
+    st.tuples(
+        st.sampled_from(("inc", "gauge", "observe")),
+        st.sampled_from(("retries_total", "settle", "depth")),
+        st.integers(min_value=0, max_value=100),
+        st.sampled_from(({}, {"core": 0}, {"core": 1})),
+    ),
+    max_size=60,
+)
+
+
+def _apply(reg, ops):
+    for kind, name, value, labels in ops:
+        getattr(reg, kind)(name, float(value), **labels)
+
+
+@given(ops=metric_ops, cut=st.integers(min_value=0, max_value=60))
+def test_metric_merge_is_order_independent(ops, cut):
+    cut = min(cut, len(ops))
+    parts = [ops[:cut], ops[cut:]]
+    regs = []
+    for part in parts:
+        reg = MetricsRegistry()
+        _apply(reg, part)
+        regs.append(reg)
+
+    forward = MetricsRegistry()
+    for reg in regs:
+        forward.merge(reg)
+    backward = MetricsRegistry()
+    for reg in reversed(regs):
+        backward.merge(reg)
+    assert forward.to_dict() == backward.to_dict()
+
+    # merging partitions equals applying every op to one registry:
+    # counter sums are exact (integer values) and gauges are max-idempotent
+    direct = MetricsRegistry()
+    _apply(direct, ops)
+    assert forward.to_dict() == direct.to_dict()
+
+
+@given(ops=metric_ops)
+def test_metric_snapshot_round_trip_is_lossless(ops):
+    reg = MetricsRegistry()
+    _apply(reg, ops)
+    assert MetricsRegistry.from_dict(reg.to_dict()).to_dict() == reg.to_dict()
+
+
+# -- serial vs parallel equivalence ------------------------------------------------
+
+
+def _sweep(sizes, seed, workers):
+    tel = Telemetry()
+    curve = measure_curve_fixed(
+        TargetSpec(kind="micro.random", working_set_mb=1.0, seed=5),
+        sizes,
+        benchmark="props.sweep",
+        interval_instructions=20_000.0,
+        n_intervals=1,
+        seed=seed,
+        workers=workers,
+        telemetry=tel,
+    )
+    return curve, tel.summary(deterministic=True)
+
+
+@settings(max_examples=3)
+@given(
+    sizes=st.lists(
+        st.sampled_from((1.0, 2.0, 4.0, 6.0, 8.0)),
+        min_size=2, max_size=3, unique=True,
+    ),
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+)
+def test_serial_and_parallel_sweeps_aggregate_identically(sizes, seed):
+    serial_curve, serial_summary = _sweep(sizes, seed, workers=0)
+    pooled_curve, pooled_summary = _sweep(sizes, seed, workers=2)
+    assert pooled_curve.to_rows() == serial_curve.to_rows()
+    assert pooled_summary["measurement"] == serial_summary["measurement"]
+    # the halves genuinely differ only in execution bookkeeping
+    assert "exec_pool_spawns_total" in pooled_summary["execution"]["counters"]
+    assert "exec_pool_spawns_total" not in serial_summary["execution"]["counters"]
