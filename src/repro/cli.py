@@ -15,6 +15,10 @@ The tool a user of the real Cache Pirate would have been handed:
   makes re-runs skip completed points, ``--telemetry PATH`` leaves the run's
   full span/metric stream behind as JSONL (plus a ``.summary.json`` sibling),
 * ``stats PATH`` — render a telemetry JSONL stream as a run report,
+* ``validate`` — the conformance oracle: replay each benchmark through the
+  pirated cache and the reference simulator and judge them against the
+  paper's 3% fetch-ratio bound (``--quick``/``--full`` tiers, ``--json``
+  writes the ``conformance_report.json`` artifact, exit 1 on divergence),
 * ``experiments`` — regenerate the paper's tables/figures (see
   ``repro.experiments.runall``).
 """
@@ -33,6 +37,7 @@ from .config import nehalem_config
 from .core import choose_pirate_threads, measure_curve_dynamic, measure_curve_fixed
 from .core.bandit import measure_bandwidth_curve
 from .core.resilience import PartialCurve, RetryPolicy, measure_point_resilient
+from .errors import ConfigError
 from .observability import Telemetry, format_report, read_jsonl, summarize, write_jsonl
 from .tracing import capture_trace
 from .units import MB
@@ -82,6 +87,20 @@ def _require_nonneg_int(value: int, what: str) -> int:
     if value < 0:
         raise _CLIError(f"{what} must be >= 0, got {value}")
     return value
+
+
+def _resolve_workers(args) -> int | None:
+    """Apply the ``--serial``/``--workers`` pair, rejecting contradictions."""
+    workers = getattr(args, "workers", None)
+    if getattr(args, "serial", False):
+        if workers:
+            raise _CLIError(
+                f"--serial conflicts with --workers {workers}; pick one"
+            )
+        return 0
+    if workers is not None:
+        _require_nonneg_int(workers, "--workers")
+    return workers
 
 
 def cmd_list(args, out=print) -> int:
@@ -216,7 +235,7 @@ def _export_telemetry(telemetry: Telemetry, path: str, out) -> None:
 def cmd_sweep(args, out=print) -> int:
     sizes = _parse_sizes(args.sizes)
     _require_positive(args.interval, "--interval")
-    _require_nonneg_int(args.workers, "--workers")
+    workers = _resolve_workers(args)
     _require_nonneg_int(args.retries, "--retries")
     if args.intervals < 1:
         raise _CLIError(f"--intervals must be >= 1, got {args.intervals}")
@@ -230,7 +249,7 @@ def cmd_sweep(args, out=print) -> int:
         n_intervals=args.intervals,
         seed=args.seed,
         retry=policy,
-        workers=args.workers,
+        workers=workers,
         cache_dir=args.cache_dir or None,
         telemetry=telemetry,
     )
@@ -261,15 +280,67 @@ def cmd_stats(args, out=print) -> int:
     return 0
 
 
+def cmd_validate(args, out=print) -> int:
+    from .validation import validate_suite
+    from .validation.tiers import check_way_representable, resolve_tier
+
+    if args.quick and args.full:
+        raise _CLIError("--quick and --full are mutually exclusive")
+    workers = _resolve_workers(args) or 0
+    tier = resolve_tier("full" if args.full else "quick")
+    config = nehalem_config(prefetch_enabled=False)
+    if args.sizes:
+        sizes = sorted(_parse_sizes(args.sizes))
+        try:
+            check_way_representable(
+                sizes, l3_size=config.l3.size, l3_ways=config.l3.ways
+            )
+        except ConfigError as e:
+            raise _CLIError(f"--sizes: {e}") from None
+        tier = tier.with_sizes(sizes)
+    if args.bound is not None:
+        if not 0.0 < args.bound < 1.0:
+            raise _CLIError(f"--bound must be in (0, 1), got {args.bound:g}")
+        tier = tier.with_bound(args.bound)
+    known = set(BENCHMARK_NAMES) | {"cigar"}
+    names = list(args.benchmarks) or [*BENCHMARK_NAMES, "cigar"]
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise _CLIError(
+            f"unknown benchmark(s) {', '.join(unknown)}; try: python -m repro list"
+        )
+    telemetry = Telemetry() if args.telemetry else None
+    out(
+        f"Conformance — pirated cache vs reference simulator "
+        f"(tier={tier.name}, bound={tier.bound * 100:.1f}%)"
+    )
+    suite = validate_suite(
+        names,
+        tier,
+        config=config,
+        seed=args.seed,
+        workers=workers,
+        telemetry=telemetry,
+        echo=out,
+    )
+    out(suite.summary_line())
+    if args.json:
+        suite.write_json(args.json)
+        out(f"report: {args.json}")
+    if telemetry is not None:
+        _export_telemetry(telemetry, args.telemetry, out)
+    return 0 if suite.passed else 1
+
+
 def cmd_experiments(args, out=print) -> int:
     from .experiments.runall import main as runall_main
 
-    _require_nonneg_int(args.workers if args.workers is not None else 0, "--workers")
+    workers = _resolve_workers(args)
     argv = ["--scale", args.scale]
     if args.only:
         argv += ["--only", args.only]
-    if args.workers is not None:
-        argv += ["--workers", str(args.workers)]
+    if workers is not None:
+        argv += ["--workers", str(workers)]
     if args.cache_dir:
         argv += ["--cache-dir", args.cache_dir]
     if args.telemetry:
@@ -340,6 +411,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="measurement intervals per sweep point")
     p.add_argument("--workers", type=int, default=0,
                    help="process fan-out for the sweep's points (0 = serial)")
+    p.add_argument("--serial", action="store_true",
+                   help="force in-process execution (conflicts with --workers)")
     p.add_argument("--cache-dir", default="",
                    help="persist completed points here; re-runs skip them")
     p.add_argument("--plot", action="store_true")
@@ -358,11 +431,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the aggregated summary as JSON instead of text")
     p.set_defaults(fn=cmd_stats)
 
+    p = sub.add_parser(
+        "validate",
+        help="conformance oracle: pirated cache vs reference simulator (3%% bound)",
+    )
+    p.add_argument("benchmarks", nargs="*",
+                   help="benchmarks to judge (default: the whole suite + cigar)")
+    p.add_argument("--quick", action="store_true",
+                   help="quick tier: 3 sizes, reduced trace budget (default)")
+    p.add_argument("--full", action="store_true",
+                   help="full tier: the paper's 16-size grid at full fidelity")
+    p.add_argument("--sizes", default="",
+                   help="override the tier's size grid (comma-separated MB, "
+                        "must be whole ways)")
+    p.add_argument("--bound", type=float, default=None,
+                   help="override the 3%% fetch-ratio conformance bound")
+    p.add_argument("--workers", type=int, default=0,
+                   help="process fan-out for per-size pirate runs (0 = serial)")
+    p.add_argument("--serial", action="store_true",
+                   help="force in-process execution (conflicts with --workers)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", default="",
+                   help="write the structured conformance report to this file")
+    p.add_argument("--telemetry", default="",
+                   help="write the run's span/metric stream to this JSONL file")
+    p.set_defaults(fn=cmd_validate)
+
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("--scale", choices=("quick", "full"), default="quick")
     p.add_argument("--only", default="")
     p.add_argument("--workers", type=int, default=None,
                    help="process fan-out for parallelizable experiments")
+    p.add_argument("--serial", action="store_true",
+                   help="force serial execution (conflicts with --workers)")
     p.add_argument("--cache-dir", default="",
                    help="sweep result cache directory")
     p.add_argument("--telemetry", default="",

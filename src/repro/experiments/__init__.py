@@ -19,6 +19,7 @@ itself as text shaped like the paper's presentation.
 | ``table1``          | Table I: cache hierarchy                          |
 | ``table2_steal``    | Table II + §III-C steal-capacity statistics       |
 | ``table3_overhead`` | Table III: overhead & CPI error vs interval size  |
+| ``conformance``     | §V conformance oracle over the Fig. 6 pipeline    |
 """
 
 from .scale import FULL, QUICK, Scale

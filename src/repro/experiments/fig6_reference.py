@@ -9,27 +9,22 @@ Pirate's fetch ratio exceeded the 3% threshold.
 
 Per §III-B1, the markers come from a flat profile (the Gprof step): tracing
 starts where the hot code begins rather than after a fixed fast-forward.
+
+The methodology itself lives in :mod:`repro.validation.differential` — the
+conformance oracle and this figure must stay the same pipeline, so this
+module only adapts the experiment's :class:`~repro.experiments.scale.Scale`
+into a validation tier and renders the figure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..analysis.errors import CurveError, curve_errors
-from ..config import nehalem_config
-from ..core.attach import measure_between_markers
-from ..core.curves import IntervalSample, PerformanceCurve
-from ..reference import apply_offset, reference_curve
+from ..analysis.errors import CurveError
+from ..core.curves import PerformanceCurve
 from ..reference.sweep import ReferenceCurve
-from ..rng import stable_seed
-from ..tracing import capture_trace, profile_workload
-from ..units import MB
-from .common import benchmark_factory
+from ..validation.differential import differential_compare, tier_from_scale
 from .scale import QUICK, Scale
-
-#: instructions executed before the traced/measured window starts — past
-#: the cold-start transient, like tracing a hot region mid-execution
-_WARM_START_INSTRUCTIONS = 2_000_000.0
 
 
 @dataclass
@@ -76,63 +71,10 @@ def compare_benchmark(
     name: str, scale: Scale, seed: int = 0
 ) -> BenchmarkComparison:
     """Run the full §III-B methodology for one benchmark."""
-    config = nehalem_config(prefetch_enabled=False)
-    factory = benchmark_factory(name, seed=stable_seed(seed, name))
-
-    # Gprof step: place markers on the hot region
-    sample_budget = min(scale.dynamic_total_instructions / 4, 4e6)
-    profile = profile_workload(factory, sample_budget, config=config,
-                               seed=stable_seed(seed, name, "prof"))
-    hot = profile.hottest()
-    wl = factory()
-    # the window must start past the cold-start transient (the paper traces
-    # a hot region deep inside the execution) and be long enough that the
-    # resident working set is swept several times — otherwise the reference
-    # replay never leaves its own cold start and the baseline offset
-    # mis-corrects the whole curve.  Regions beyond the L3 never warm, so
-    # the footprint is capped at the cache size.
-    lines = scale.trace_lines
-    footprint = min(wl.footprint_lines(), config.l3.num_lines)
-    if footprint:
-        lines = int(min(max(lines, 6 * footprint), 8 * scale.trace_lines))
-    window_instr = lines * wl.accesses_per_line / wl.mem_fraction
-    start = hot.start_marker + min(
-        _WARM_START_INSTRUCTIONS, scale.dynamic_total_instructions / 4
+    diff = differential_compare(name, tier_from_scale(scale), seed=seed)
+    return BenchmarkComparison(
+        benchmark=name, pirate=diff.pirate, reference=diff.reference, error=diff.error
     )
-    stop = start + window_instr
-
-    # Pin step: capture the trace of exactly that window
-    trace = capture_trace(factory(), start, stop, benchmark=name)
-
-    # reference curve + baseline-offset calibration (stolen = 0 run)
-    ref = reference_curve(
-        trace, list(scale.sizes_mb), base_config=config, warmup_fraction=0.5
-    )
-    baseline = measure_between_markers(
-        factory, 0, start, stop, config=config,
-        seed=stable_seed(seed, name, "base"),
-    )
-    ref = apply_offset(ref, baseline.target.fetch_ratio)
-
-    # pirate measurements attached at the same markers, one run per size
-    samples = []
-    for size_mb in scale.sizes_mb:
-        stolen = config.l3.size - int(size_mb * MB)
-        win = measure_between_markers(
-            factory, stolen, start, stop, config=config,
-            seed=stable_seed(seed, name, "pirate", size_mb),
-        )
-        samples.append(
-            IntervalSample(
-                target_cache_bytes=win.target_cache_bytes,
-                target=win.target,
-                pirate_fetch_ratio=win.pirate_fetch_ratio,
-                valid=win.valid,
-            )
-        )
-    pirate = PerformanceCurve.from_samples(name, samples, config.core.clock_hz)
-    err = curve_errors(pirate, ref, benchmark=name)
-    return BenchmarkComparison(benchmark=name, pirate=pirate, reference=ref, error=err)
 
 
 def run(scale: Scale = QUICK, seed: int = 0, include_cigar: bool = True) -> Fig6Result:

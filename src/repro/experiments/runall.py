@@ -14,6 +14,7 @@ import time
 
 from . import FULL, QUICK, Scale
 from . import (  # noqa: F401  (imported for registration order)
+    conformance,
     fig1_omnet,
     fig2_lbm,
     fig3_lru_stack,
@@ -40,6 +41,7 @@ EXPERIMENTS = {
     "fig9": fig9_lbm_nopf,
     "fig6": fig6_reference,
     "fig7": fig7_errors,
+    "conformance": conformance,
     "table2": table2_steal,
     "table3": table3_overhead,
 }

@@ -12,7 +12,7 @@ cold-start and residual-prefetcher effects (:mod:`repro.reference.calibrate`).
 
 from .cachesim import ReferencePoint, simulate_trace
 from .sweep import ReferenceCurve, reference_curve
-from .calibrate import calibrate_offset, apply_offset
+from .calibrate import apply_offset, calibrate_offset, measure_baseline_fetch_ratio
 
 __all__ = [
     "ReferencePoint",
@@ -21,4 +21,5 @@ __all__ = [
     "reference_curve",
     "calibrate_offset",
     "apply_offset",
+    "measure_baseline_fetch_ratio",
 ]

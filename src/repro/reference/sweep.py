@@ -48,6 +48,10 @@ class ReferenceCurve:
         """Interpolated fetch ratio at an arbitrary size."""
         return float(np.interp(cache_mb, self.cache_mb, self.fetch_ratio))
 
+    def miss_ratio_at(self, cache_mb: float) -> float:
+        """Interpolated miss ratio at an arbitrary size."""
+        return float(np.interp(cache_mb, self.cache_mb, self.miss_ratio))
+
     def shifted(self, offset: float) -> "ReferenceCurve":
         """Curve with ``offset`` added to every fetch ratio (calibration)."""
         pts = [

@@ -1,0 +1,198 @@
+"""Replay one workload through both cache models (§III-B's methodology).
+
+One differential comparison is the full Fig. 6 pipeline for a single
+workload:
+
+1. **Gprof step** — profile the workload and place markers on its hot
+   region (:func:`repro.tracing.profile_workload`),
+2. **Pin step** — capture the address trace of exactly that window
+   (:func:`repro.tracing.capture_trace`),
+3. **reference side** — replay the trace through genuine ``(A - k)``-way
+   caches (:func:`repro.reference.reference_curve`, way reduction at
+   constant sets — the Pirate-equivalent geometry) and pin the curve to a
+   counter-measured solo baseline (:func:`repro.reference.apply_offset`),
+4. **pirated side** — attach the Pirate at the same markers once per swept
+   size and measure the Target's counters over the identical window
+   (:func:`repro.core.attach.measure_between_markers`).
+
+Per-size pirate runs are independent co-runs on separate machines, so they
+fan out over :func:`repro.core.parallel.parallel_map`; results are
+bit-identical for any worker count.  :mod:`repro.experiments.fig6_reference`
+delegates here (via :func:`tier_from_scale`), so the experiment and the
+conformance oracle can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.errors import CurveError, curve_errors
+from ..config import MachineConfig, nehalem_config
+from ..core.attach import AttachWindow, measure_between_markers
+from ..core.curves import IntervalSample, PerformanceCurve
+from ..core.parallel import parallel_map
+from ..experiments.common import benchmark_factory
+from ..experiments.scale import Scale
+from ..observability import ensure_telemetry
+from ..reference import apply_offset, reference_curve
+from ..reference.sweep import ReferenceCurve
+from ..rng import stable_seed
+from ..tracing import capture_trace, profile_workload
+from ..units import MB
+from ..workloads import TargetSpec
+from .tiers import ValidationTier
+
+
+def tier_from_scale(scale: Scale) -> ValidationTier:
+    """The tier matching an experiment scale's fig6 parameters exactly.
+
+    ``fig6_reference`` routes through this, so a fig6 run at any
+    :class:`~repro.experiments.scale.Scale` reproduces its pre-refactor
+    numbers bit-for-bit.
+    """
+    budget = scale.dynamic_total_instructions / 4
+    return ValidationTier(
+        name=scale.name,
+        sizes_mb=tuple(scale.sizes_mb),
+        trace_lines=scale.trace_lines,
+        footprint_sweeps=6,
+        window_cap=8,
+        warm_start_instructions=min(2_000_000.0, budget),
+        profile_instructions=min(budget, 4_000_000.0),
+        reference_warmup_fraction=0.5,
+    )
+
+
+@dataclass
+class DifferentialResult:
+    """Both models' view of one workload over one window."""
+
+    benchmark: str
+    #: pirate-measured curve (way competition at runtime)
+    pirate: PerformanceCurve
+    #: calibrated reference curve (way reduction by configuration)
+    reference: ReferenceCurve
+    #: the solo full-cache run that calibrated the reference curve
+    baseline: AttachWindow
+    #: Fig. 7 error metrics over the trusted sizes
+    error: CurveError
+    #: instruction markers delimiting the compared window
+    start_marker: float = 0.0
+    stop_marker: float = 0.0
+
+
+@dataclass(frozen=True)
+class _SizeTask:
+    """One per-size pirate measurement; module-level data, so it pickles."""
+
+    factory: TargetSpec
+    stolen_bytes: int
+    start_marker: float
+    stop_marker: float
+    config: MachineConfig
+    seed: int
+
+
+def _measure_size(task: _SizeTask) -> IntervalSample:
+    """Pure per-size task (runs in-process or in a pool worker)."""
+    win = measure_between_markers(
+        task.factory,
+        task.stolen_bytes,
+        task.start_marker,
+        task.stop_marker,
+        config=task.config,
+        seed=task.seed,
+    )
+    return IntervalSample(
+        target_cache_bytes=win.target_cache_bytes,
+        target=win.target,
+        pirate_fetch_ratio=win.pirate_fetch_ratio,
+        valid=win.valid,
+    )
+
+
+def differential_compare(
+    name: str,
+    tier: ValidationTier,
+    *,
+    config: MachineConfig | None = None,
+    seed: int = 0,
+    workers: int = 0,
+    telemetry=None,
+) -> DifferentialResult:
+    """Run the full §III-B methodology for one benchmark at one tier.
+
+    Prefetchers are disabled on both sides, as in the paper's validation
+    runs; the residual cold-start bias is calibrated away by the baseline
+    offset.  ``workers >= 2`` fans the per-size pirate runs over a process
+    pool — the result is identical for any worker count.
+    """
+    config = config or nehalem_config(prefetch_enabled=False)
+    tel = ensure_telemetry(telemetry)
+    factory = benchmark_factory(name, seed=stable_seed(seed, name))
+
+    with tel.span("validate_benchmark", benchmark=name, tier=tier.name):
+        # Gprof step: place markers on the hot region
+        with tel.span("validate_profile", instructions=tier.profile_instructions):
+            profile = profile_workload(
+                factory,
+                tier.profile_instructions,
+                config=config,
+                seed=stable_seed(seed, name, "prof"),
+            )
+        hot = profile.hottest()
+        wl = factory()
+        footprint = min(wl.footprint_lines(), config.l3.num_lines)
+        lines = tier.window_lines(footprint)
+        window_instr = lines * wl.accesses_per_line / wl.mem_fraction
+        start = hot.start_marker + tier.warm_start_instructions
+        stop = start + window_instr
+
+        # Pin step: capture the trace of exactly that window
+        with tel.span("validate_trace", lines=lines):
+            trace = capture_trace(factory(), start, stop, benchmark=name)
+
+        # reference curve + baseline-offset calibration (stolen = 0 run)
+        with tel.span("validate_reference", sizes=len(tier.sizes_mb)):
+            ref = reference_curve(
+                trace,
+                list(tier.sizes_mb),
+                base_config=config,
+                warmup_fraction=tier.reference_warmup_fraction,
+            )
+        with tel.span("validate_baseline"):
+            baseline = measure_between_markers(
+                factory, 0, start, stop, config=config,
+                seed=stable_seed(seed, name, "base"),
+            )
+        ref = apply_offset(ref, baseline.target.fetch_ratio)
+
+        # pirate measurements attached at the same markers, one run per size
+        tasks = [
+            _SizeTask(
+                factory=factory,
+                stolen_bytes=config.l3.size - int(size_mb * MB),
+                start_marker=start,
+                stop_marker=stop,
+                config=config,
+                seed=stable_seed(seed, name, "pirate", size_mb),
+            )
+            for size_mb in tier.sizes_mb
+        ]
+        with tel.span("validate_pirate", sizes=len(tasks), workers=workers):
+            samples = parallel_map(_measure_size, tasks, workers=workers)
+        pirate = PerformanceCurve.from_samples(name, samples, config.core.clock_hz)
+        for s in samples:
+            tel.count("validation_points_total")
+            if not s.valid:
+                tel.count("validation_untrusted_total")
+        err = curve_errors(pirate, ref, benchmark=name)
+    return DifferentialResult(
+        benchmark=name,
+        pirate=pirate,
+        reference=ref,
+        baseline=baseline,
+        error=err,
+        start_marker=start,
+        stop_marker=stop,
+    )

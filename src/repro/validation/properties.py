@@ -1,0 +1,155 @@
+"""Metamorphic invariants the cache models must satisfy.
+
+Conformance (``|pirate - reference| <= 3%``) checks the two models against
+*each other*; these predicates check them against *theory* — relations that
+must hold for any workload, so hypothesis can drive them over arbitrary
+generated access streams (``tests/test_validation_props.py``):
+
+* **LRU stack inclusion** (§II-B1, Fig. 3): an LRU cache's contents at
+  ``A`` ways are exactly the top ``A`` entries of the recency stack, so a
+  reference replay at fewer ways hits only where the wider cache hits.
+  :func:`lru_stack_mismatches` replays a stream through the real
+  :class:`~repro.caches.setassoc.LRUCache` in lock-step with the abstract
+  stack model and reports any disagreement.
+* **Monotonicity**: by the same inclusion argument, LRU misses are
+  non-increasing in associativity.  :func:`monotone_violations` sweeps a
+  way grid and reports every adjacent pair that orders the wrong way.
+  (NRU is only *approximately* a stack algorithm — the paper leans on this
+  for its Fig. 4 LRU/NRU contrast — so the exact predicate is stated for
+  LRU.)
+* **Vanishing theft**: as ``S -> 0`` the Pirate's working set shrinks to a
+  single spin line, so its own fetch ratio over any window collapses to
+  the rare re-fetches of that one line — orders of magnitude below the 3%
+  threshold — and the Target sees the full ``C``.
+  :func:`pirate_idle_fetch_ratio` measures it.
+* **Determinism under parallelism**: a conformance suite's report is a pure
+  function of (benchmarks, tier, seed); :func:`reports_equivalent` is the
+  structural equality the serial == parallel property asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..caches.setassoc import LRUCache
+from ..config import CacheConfig, MachineConfig, nehalem_config
+from ..core.attach import measure_between_markers
+from ..errors import ConfigError
+from ..hardware.thread import WorkloadLike
+from .conformance import ConformanceReport, SuiteReport
+
+
+def _lru_cache(ways: int, num_sets: int, line_size: int = 64) -> LRUCache:
+    return LRUCache(
+        CacheConfig(
+            name=f"lru{ways}x{num_sets}",
+            size=num_sets * ways * line_size,
+            ways=ways,
+            line_size=line_size,
+            policy="lru",
+        )
+    )
+
+
+def _lru_misses(line_addrs: Sequence[int], ways: int, num_sets: int) -> int:
+    cache = _lru_cache(ways, num_sets)
+    for addr in line_addrs:
+        cache.access(*cache.split(addr))
+    return cache.miss_count
+
+
+def monotone_violations(
+    line_addrs: Sequence[int], way_grid: Sequence[int], *, num_sets: int = 1
+) -> list[tuple[int, int]]:
+    """Adjacent way pairs where a *larger* LRU cache misses *more*.
+
+    Replays ``line_addrs`` through an LRU cache at every associativity in
+    ``way_grid`` (same set count — the way-stealing geometry) and returns
+    ``(smaller_ways, larger_ways)`` for each adjacent pair whose miss
+    counts increase with size.  Stack inclusion says the result is always
+    empty for LRU; a non-empty result is a simulator bug.
+    """
+    grid = sorted(set(way_grid))
+    if any(w < 1 for w in grid):
+        raise ConfigError("way grid entries must be >= 1")
+    misses = [_lru_misses(line_addrs, w, num_sets) for w in grid]
+    return [
+        (small, large)
+        for (small, large), (m_small, m_large) in zip(
+            zip(grid, grid[1:]), zip(misses, misses[1:])
+        )
+        if m_large > m_small
+    ]
+
+
+def lru_stack_mismatches(
+    line_addrs: Sequence[int], ways: int, *, num_sets: int = 1
+) -> list[int]:
+    """Indices where the LRU simulator disagrees with the stack model.
+
+    The abstract model keeps one recency stack per set; an access hits iff
+    its stack distance is ``< ways`` (Fig. 3's inclusion property,
+    generalised from the figure's single set to any geometry).  The real
+    :class:`~repro.caches.setassoc.LRUCache` replays the same stream in
+    lock-step; any index where hit/miss verdicts differ is returned.  An
+    empty list *proves* the simulator implements a stack algorithm on this
+    stream, which is what licenses the monotonicity property above.
+    """
+    if ways < 1:
+        raise ConfigError("ways must be >= 1")
+    cache = _lru_cache(ways, num_sets)
+    stacks: dict[int, list[int]] = {}
+    mismatches = []
+    for i, addr in enumerate(line_addrs):
+        set_idx, tag = cache.split(addr)
+        stack = stacks.setdefault(set_idx, [])
+        model_hit = tag in stack[:ways]
+        if tag in stack:
+            stack.remove(tag)
+        stack.insert(0, tag)
+        del stack[ways:]
+        if cache.access(set_idx, tag).hit != model_hit:
+            mismatches.append(i)
+    return mismatches
+
+
+def pirate_idle_fetch_ratio(
+    target_factory: Callable[[], WorkloadLike] | WorkloadLike,
+    start_marker: float,
+    stop_marker: float,
+    *,
+    config: MachineConfig | None = None,
+    seed: int = 0,
+) -> float:
+    """The Pirate's own fetch ratio over a window while stealing nothing.
+
+    At ``S = 0`` the Pirate spins on one cache line; the only fetches it
+    can incur are re-fetches after the Target's inclusive-L3 pressure
+    evicts that single line.  For every workload, window, and seed the
+    ratio must therefore be negligible — zero for most workloads, and in
+    any case orders of magnitude under the 3% trust threshold — the limit
+    case of §III-A's "the Pirate must keep its working set cached"
+    requirement.
+    """
+    win = measure_between_markers(
+        target_factory,
+        0,
+        start_marker,
+        stop_marker,
+        config=config or nehalem_config(prefetch_enabled=False),
+        seed=seed,
+    )
+    return win.pirate_fetch_ratio
+
+
+def reports_equivalent(
+    a: SuiteReport | ConformanceReport, b: SuiteReport | ConformanceReport
+) -> bool:
+    """Structural equality of two conformance reports.
+
+    Compares the full serialised form (every point, every verdict), which
+    is the equality the serial == parallel metamorphic property needs:
+    ``validate_suite(..., workers=0)`` and ``workers=2`` must produce
+    reports for which this returns True.
+    """
+    return type(a) is type(b) and a.to_dict() == b.to_dict()

@@ -1,0 +1,131 @@
+"""Validation tiers: how hard a conformance run tries.
+
+A tier bundles every knob of a differential run — the cache-size grid, the
+trace budget, the window policy, the instruction budgets — so "quick" and
+"full" name reproducible configurations instead of ad-hoc flag soup.  The
+window policy mirrors :mod:`repro.experiments.fig6_reference`: the traced
+window must sweep the workload's resident footprint several times or the
+reference replay never leaves its own cold start and the baseline offset
+mis-corrects the whole curve (``footprint_sweeps``), but is capped at
+``window_cap * trace_lines`` so streaming giants stay affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+from ..units import MB
+
+#: The paper's fetch-ratio error bound (§V: max absolute error 2.7% < 3%).
+DEFAULT_CONFORMANCE_BOUND = 0.03
+
+
+@dataclass(frozen=True)
+class ValidationTier:
+    """One named parameter set for a differential validation run."""
+
+    name: str
+    #: Target-available cache sizes to sweep (MB, way-representable)
+    sizes_mb: tuple[float, ...]
+    #: base address-trace budget (lines)
+    trace_lines: int
+    #: the window must cover this many sweeps of the resident footprint
+    footprint_sweeps: int = 6
+    #: hard window cap, in multiples of ``trace_lines``
+    window_cap: int = 8
+    #: instructions run Pirate-free before the traced window starts
+    warm_start_instructions: float = 1_500_000.0
+    #: instruction budget of the hot-region profiling step (the Gprof step)
+    profile_instructions: float = 1_500_000.0
+    #: fraction of the trace that warms the reference simulator uncounted
+    reference_warmup_fraction: float = 0.5
+    #: conformance bound on |pirate - reference| fetch ratio
+    bound: float = DEFAULT_CONFORMANCE_BOUND
+
+    def __post_init__(self) -> None:
+        if not self.sizes_mb:
+            raise ConfigError(f"tier {self.name!r} needs at least one cache size")
+        if self.trace_lines < 1:
+            raise ConfigError(f"tier {self.name!r}: trace budget must be positive")
+        if self.footprint_sweeps < 1 or self.window_cap < 1:
+            raise ConfigError(f"tier {self.name!r}: window policy must be >= 1")
+        if not 0.0 < self.bound < 1.0:
+            raise ConfigError(f"tier {self.name!r}: bound must be in (0, 1)")
+        if not 0.0 <= self.reference_warmup_fraction < 1.0:
+            raise ConfigError(f"tier {self.name!r}: warmup fraction must be in [0, 1)")
+
+    def window_lines(self, footprint_lines: int) -> int:
+        """Trace length for a workload with ``footprint_lines`` resident."""
+        lines = self.trace_lines
+        if footprint_lines:
+            lines = int(
+                min(
+                    max(lines, self.footprint_sweeps * footprint_lines),
+                    self.window_cap * self.trace_lines,
+                )
+            )
+        return lines
+
+    def with_sizes(self, sizes_mb: list[float]) -> "ValidationTier":
+        """The same tier over a different size grid (CLI ``--sizes``)."""
+        return replace(self, sizes_mb=tuple(sizes_mb))
+
+    def with_bound(self, bound: float) -> "ValidationTier":
+        """The same tier with a different conformance bound (CLI ``--bound``)."""
+        return replace(self, bound=bound)
+
+
+def _grid(step: float, lo: float = 0.5, hi: float = 8.0) -> tuple[float, ...]:
+    sizes = []
+    s = lo
+    while s <= hi + 1e-9:
+        sizes.append(round(s, 3))
+        s += step
+    return tuple(sizes)
+
+
+#: Minutes, not hours: three way-representable sizes spanning the grid and
+#: a reduced trace budget.  Every built-in workload conforms within the 3%
+#: bound at this tier (the acceptance bar of the ``validate`` CLI).
+VALIDATE_QUICK = ValidationTier(
+    name="quick",
+    sizes_mb=(2.0, 5.0, 8.0),
+    trace_lines=80_000,
+)
+
+#: The paper's grid (16 sizes, 0.5MB steps) at fig6's FULL trace fidelity.
+VALIDATE_FULL = ValidationTier(
+    name="full",
+    sizes_mb=_grid(0.5),
+    trace_lines=500_000,
+    warm_start_instructions=2_000_000.0,
+    profile_instructions=4_000_000.0,
+)
+
+
+def resolve_tier(name: str) -> ValidationTier:
+    """The built-in tier named ``name`` ("quick" or "full")."""
+    tiers = {t.name: t for t in (VALIDATE_QUICK, VALIDATE_FULL)}
+    try:
+        return tiers[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown validation tier {name!r}; known: {sorted(tiers)}"
+        ) from None
+
+
+def check_way_representable(sizes_mb: list[float], *, l3_size: int, l3_ways: int) -> None:
+    """Reject sizes the way-reduction reference geometry cannot express.
+
+    Raises :class:`~repro.errors.ConfigError` naming the first bad size, so
+    the CLI can fail fast before any simulation runs.
+    """
+    way_bytes = l3_size // l3_ways
+    for size in sizes_mb:
+        w = int(round(size * MB / way_bytes))
+        if w < 1 or w > l3_ways or abs(w * way_bytes - size * MB) > 1e-6 * MB:
+            raise ConfigError(
+                f"size {size:g}MB is not a whole number of {way_bytes / MB:g}MB "
+                f"ways; the reference geometry needs multiples of {way_bytes / MB:g}MB"
+            )

@@ -14,6 +14,7 @@ from repro.core import measure_curve_fixed
 from repro.experiments import fig4_micro
 from repro.experiments.scale import Scale
 from repro.observability import Telemetry
+from repro.validation import ValidationTier, validate_suite
 from repro.workloads import TargetSpec
 
 #: shrunken scale for the fig4 golden: three sizes, short everything
@@ -73,9 +74,31 @@ def fig4_telemetry_scenario() -> dict:
     return tel.summary(deterministic=True)
 
 
+#: shrunken validation tier for the conformance golden: two sizes, tiny trace
+GOLDEN_TIER = ValidationTier(
+    name="golden",
+    sizes_mb=(2.0, 8.0),
+    trace_lines=30_000,
+    warm_start_instructions=500_000.0,
+    profile_instructions=500_000.0,
+)
+
+
+def conformance_scenario(workers: int = 0) -> dict:
+    """One differential validation run, serialized as its full report.
+
+    Locks down the whole oracle — markers, trace, reference replay,
+    calibration offset, per-size pirate runs, verdicts — as one JSON tree.
+    ``workers`` must not change the output (serial == parallel conformance).
+    """
+    suite = validate_suite(["povray"], GOLDEN_TIER, seed=5, workers=workers)
+    return suite.to_dict()
+
+
 #: golden file stem -> scenario builder
 SCENARIOS = {
     "fixed_curve": fixed_curve_scenario,
     "fig4_micro": fig4_scenario,
     "fig4_telemetry": fig4_telemetry_scenario,
+    "conformance": conformance_scenario,
 }

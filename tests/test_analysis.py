@@ -185,3 +185,73 @@ def test_format_table3():
         }
     ])
     assert "100M" in text and "5.5" in text
+
+# -------------------------------------------------------- quality report
+
+
+def _quality(requested, measured, attempts, valid, reasons=()):
+    from repro.core.resilience import PointQuality
+
+    return PointQuality(
+        requested_mb=requested, measured_mb=measured, attempts=attempts,
+        pirate_fetch_ratio=0.0, valid=valid, reasons=list(reasons),
+    )
+
+
+def test_quality_report_without_retry_metadata():
+    from repro.analysis import format_quality_report
+
+    plain = make_curve([(8.0, 1.0, 1.0, 0.02, True)])
+    assert "no retry metadata" in format_quality_report(plain)
+
+
+def test_quality_report_all_degraded():
+    from repro.analysis import format_quality_report
+    from repro.core.resilience import PartialCurve
+
+    curve = PartialCurve(
+        "t",
+        [CurvePoint(2 * MB, 1.0, 1.0, 0.02, 0.01, 0.0, True, 1)],
+        quality={
+            2 * MB: _quality(4.0, 2.0, 3, True, ["pirate_overflow"]),
+        },
+    )
+    text = format_quality_report(curve)
+    assert "1 degraded" in text
+    assert "requested 4.0MB measured at 2.0MB after 3 attempts" in text
+
+
+def test_quality_report_failed_points_list_reasons():
+    from repro.analysis import format_quality_report
+    from repro.core.resilience import PartialCurve
+
+    curve = PartialCurve(
+        "t",
+        [CurvePoint(MB // 2, 9.0, 1.0, 0.30, 0.20, 0.3, False, 1)],
+        quality={
+            MB // 2: _quality(0.5, 0.5, 4, False, ["threshold", "threshold"]),
+        },
+    )
+    text = format_quality_report(curve)
+    assert "1 failed" in text
+    assert "0.5MB not trustworthy after 4 attempts (threshold)" in text
+
+
+def test_quality_report_mixed_counts():
+    from repro.analysis import format_quality_report
+    from repro.core.resilience import PartialCurve
+
+    curve = PartialCurve(
+        "t",
+        [
+            CurvePoint(8 * MB, 1.0, 1.0, 0.02, 0.01, 0.0, True, 1),
+            CurvePoint(2 * MB, 2.0, 1.0, 0.05, 0.04, 0.0, True, 1),
+        ],
+        quality={
+            8 * MB: _quality(8.0, 8.0, 1, True),
+            2 * MB: _quality(2.0, 2.0, 2, True, ["threshold"]),
+        },
+    )
+    text = format_quality_report(curve)
+    assert "2 points" in text
+    assert "1 clean" in text and "1 recovered" in text

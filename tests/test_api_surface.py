@@ -33,6 +33,11 @@ def test_version():
         "repro.analysis.plot",
         "repro.experiments",
         "repro.experiments.runall",
+        "repro.validation",
+        "repro.validation.differential",
+        "repro.validation.conformance",
+        "repro.validation.properties",
+        "repro.validation.tiers",
         "repro.cli",
     ],
 )
@@ -63,3 +68,10 @@ def test_analysis_package_exports_resolve():
 
     for name in analysis.__all__:
         assert hasattr(analysis, name), name
+
+
+def test_validation_package_exports_resolve():
+    import repro.validation as validation
+
+    for name in validation.__all__:
+        assert hasattr(validation, name), name

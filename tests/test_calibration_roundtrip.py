@@ -1,0 +1,102 @@
+"""Baseline-offset calibration round-trip (§III-B1).
+
+The paper's calibration step measures the Target solo at full cache and
+shifts the simulated curve so its full-cache point matches the counters.
+These tests pin both halves: the shift is exact at the anchor point and
+shape-preserving elsewhere, and the calibrated trace-driven simulator
+agrees with the analytic reuse-distance model of the *same trace* — two
+independent derivations of the miss curve crossing paths.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.reuse import reuse_profile
+from repro.config import nehalem_config
+from repro.reference import (
+    apply_offset,
+    calibrate_offset,
+    measure_baseline_fetch_ratio,
+    reference_curve,
+)
+from repro.tracing import capture_trace
+from repro.units import MB
+from repro.workloads import benchmark_target
+
+SEED = 9
+
+
+@pytest.fixture(scope="module")
+def gromacs_trace():
+    factory = benchmark_target("gromacs", seed=SEED)
+    return capture_trace(factory(), 200_000, 500_000, benchmark="gromacs")
+
+
+def test_offset_pins_full_cache_point_exactly(gromacs_trace):
+    config = nehalem_config(prefetch_enabled=False)
+    ref = reference_curve(
+        gromacs_trace, [2.0, 8.0], base_config=config, warmup_fraction=0.5
+    )
+    baseline = measure_baseline_fetch_ratio(
+        benchmark_target("gromacs", seed=SEED), 300_000, config=config, seed=SEED
+    )
+    shifted = apply_offset(ref, baseline)
+    # the anchor: the largest-size simulated point *equals* the counters
+    assert shifted.fetch_ratio_at(8.0) == pytest.approx(baseline, abs=1e-12)
+    # shape preservation: the shift moves every point by the same offset
+    offset = calibrate_offset(ref, baseline)
+    for before, after in zip(ref.points, shifted.points):
+        assert after.fetch_ratio == pytest.approx(
+            max(before.fetch_ratio + offset, 0.0), abs=1e-12
+        )
+        assert after.miss_ratio == before.miss_ratio  # fetch-only correction
+
+
+def test_offset_clamps_at_zero(gromacs_trace):
+    ref = reference_curve(gromacs_trace, [2.0, 8.0], warmup_fraction=0.5)
+    # a baseline far below the curve would push ratios negative; they clamp
+    shifted = apply_offset(ref, 0.0)
+    assert all(p.fetch_ratio >= 0.0 for p in shifted.points)
+    assert shifted.fetch_ratio_at(8.0) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_calibrated_simulator_matches_reuse_distance_model(gromacs_trace):
+    """Trace simulator vs analytic stack model: same trace, same answer.
+
+    The reference simulator replays the trace through a genuine LRU cache;
+    the reuse-distance profile predicts the same miss ratio analytically
+    from stack distances (§II-B1).  Both see the identical access stream,
+    so they must agree within the cold-start/set-conflict slack of a
+    finite trace.
+    """
+    config = nehalem_config(prefetch_enabled=False)
+    prof = reuse_profile(gromacs_trace, skip_fraction=0.5)
+    ref = reference_curve(
+        gromacs_trace, [0.5, 2.0, 8.0], base_config=config,
+        policy="lru", warmup_fraction=0.5,
+    )
+    line = config.l3.line_size
+    for point in ref.points:
+        predicted = prof.miss_ratio_at_lines(
+            point.cache_bytes // line, include_cold=False
+        )
+        assert point.miss_ratio == pytest.approx(predicted, abs=0.02), (
+            f"{point.cache_bytes / MB}MB: simulated {point.miss_ratio:.4f} "
+            f"vs model {predicted:.4f}"
+        )
+
+
+def test_calibrate_script_main_smoke(capsys):
+    """scripts/calibrate.py stays runnable end to end."""
+    path = Path(__file__).parent.parent / "scripts" / "calibrate.py"
+    spec = importlib.util.spec_from_file_location("calibrate_script", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    rc = mod.main(["povray", "--sizes", "8", "--instr", "150000",
+                   "--warmup", "80000"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "bench" in out and "povray" in out
+    assert "CPI" in out and "FR%" in out

@@ -20,7 +20,8 @@ class Sink:
 def test_parser_has_all_commands():
     parser = build_parser()
     text = parser.format_help()
-    for cmd in ("list", "curve", "steal", "probe", "bandwidth", "reuse", "experiments"):
+    for cmd in ("list", "curve", "steal", "probe", "bandwidth", "reuse",
+                "validate", "experiments"):
         assert cmd in text
 
 
@@ -97,6 +98,48 @@ def test_curve_command_prints_quality_column():
     assert "quality: 2 points" in out.text
 
 
+def test_validate_command_writes_report_and_passes(tmp_path):
+    out = Sink()
+    report = tmp_path / "conformance_report.json"
+    rc = main(
+        ["validate", "povray", "--quick", "--sizes", "2.0,8.0",
+         "--json", str(report)],
+        out=out,
+    )
+    assert rc == 0
+    assert "suite: PASS" in out.text
+    assert "povray" in out.text
+    import json
+
+    loaded = json.loads(report.read_text())
+    assert loaded["passed"] is True
+    assert loaded["tier"] == "quick"
+    assert [p["size_mb"] for p in loaded["benchmarks"][0]["points"]] == [2.0, 8.0]
+
+
+def test_validate_failure_exits_one(tmp_path):
+    # an absurdly tight bound forces a conformance failure -> exit code 1
+    out = Sink()
+    rc = main(
+        ["validate", "gromacs", "--sizes", "2.0,8.0", "--bound", "1e-9"],
+        out=out,
+    )
+    assert rc == 1
+    assert "suite: FAIL" in out.text
+
+
+def test_validate_telemetry_export(tmp_path):
+    out = Sink()
+    stream = tmp_path / "run.jsonl"
+    rc = main(
+        ["validate", "povray", "--sizes", "8.0", "--telemetry", str(stream)],
+        out=out,
+    )
+    assert rc == 0
+    assert stream.exists()
+    assert "telemetry:" in out.text
+
+
 @pytest.mark.parametrize(
     "argv,fragment",
     [
@@ -116,6 +159,17 @@ def test_curve_command_prints_quality_column():
         (["bandwidth", "povray", "--gaps", ","], "at least one"),
         (["reuse", "povray", "--window", "0"], "--window must be positive"),
         (["reuse", "povray", "--sizes", "nan_mb"], "not a number"),
+        (["validate", "--quick", "--full"], "mutually exclusive"),
+        (["validate", "--serial", "--workers", "2"], "--serial conflicts"),
+        (["validate", "--workers", "-1"], "--workers must be >= 0"),
+        (["validate", "--sizes", "-2"], "must be positive"),
+        (["validate", "--sizes", "1.7"], "whole number of 0.5MB ways"),
+        (["validate", "--sizes", "9.5"], "exceeds the 8MB L3"),
+        (["validate", "--bound", "0"], "--bound must be in (0, 1)"),
+        (["validate", "--bound", "1.5"], "--bound must be in (0, 1)"),
+        (["validate", "doom"], "unknown benchmark"),
+        (["sweep", "povray", "--serial", "--workers", "3"], "--serial conflicts"),
+        (["experiments", "--serial", "--workers", "2"], "--serial conflicts"),
     ],
 )
 def test_bad_arguments_fail_fast_with_one_line_error(argv, fragment):
@@ -124,3 +178,13 @@ def test_bad_arguments_fail_fast_with_one_line_error(argv, fragment):
     assert len(out.lines) == 1
     assert out.lines[0].startswith("error: ")
     assert fragment in out.lines[0]
+
+
+def test_serial_flag_alone_is_accepted():
+    out = Sink()
+    rc = main(
+        ["sweep", "povray", "--serial", "--sizes", "8.0",
+         "--interval", "60000", "--intervals", "1"],
+        out=out,
+    )
+    assert rc == 0

@@ -204,7 +204,7 @@ def test_runall_registry_covers_every_table_and_figure():
     ids = set(EXPERIMENTS)
     assert ids == {
         "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-        "fig9", "table1", "table2", "table3",
+        "fig9", "table1", "table2", "table3", "conformance",
     }
 
 

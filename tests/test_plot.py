@@ -71,3 +71,37 @@ def test_plot_pirate_vs_reference():
 def test_unsorted_x_handled():
     text = ascii_plot([2, 0, 1], {"y": [2.0, 0.0, 1.0]})
     assert "*" in text
+
+
+# ------------------------------------------------------------- error paths
+
+
+def test_empty_curve_cannot_be_plotted():
+    empty = PerformanceCurve("empty", [])
+    with pytest.raises(ReproError, match="two x values"):
+        plot_performance_curve(empty, "cpi")
+
+
+def test_single_point_sweep_cannot_be_plotted():
+    # a one-size sweep is a point, not a curve; the renderer refuses it
+    # rather than inventing an x-range
+    single = PerformanceCurve("single", [
+        CurvePoint(8 * MB, 1.0, 1.0, 0.02, 0.01, 0.0, True, 1),
+    ])
+    with pytest.raises(ReproError, match="two x values"):
+        plot_performance_curve(single, "fetch_ratio")
+
+
+def test_pirate_vs_reference_needs_two_pirate_points():
+    from repro.reference.cachesim import ReferencePoint
+    from repro.reference.sweep import ReferenceCurve
+
+    ref = ReferenceCurve("bench", "nru", "ways", [
+        ReferencePoint("bench", MB // 2, 1, 0.09, 0.09, 0, 0, 1.0, "nru"),
+        ReferencePoint("bench", 8 * MB, 16, 0.02, 0.02, 0, 0, 1.0, "nru"),
+    ])
+    single = PerformanceCurve("bench", [
+        CurvePoint(8 * MB, 1.0, 1.0, 0.02, 0.01, 0.0, True, 1),
+    ])
+    with pytest.raises(ReproError, match="two x values"):
+        plot_pirate_vs_reference(single, ref)

@@ -1,0 +1,96 @@
+"""Metamorphic properties of the validation layer (hypothesis-driven).
+
+These run under the derandomized ``repro`` profile from ``conftest.py``;
+export ``HYPOTHESIS_SEED=<int>`` to draw fresh examples while keeping any
+failure replayable with the same seed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.validation import (
+    lru_stack_mismatches,
+    monotone_violations,
+    pirate_idle_fetch_ratio,
+    reports_equivalent,
+    validate_suite,
+)
+from repro.workloads import benchmark_target
+from tests.golden_scenarios import GOLDEN_TIER, conformance_scenario
+
+#: line-address streams confined to a small region so sets actually collide
+streams = st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=400)
+
+
+# ------------------------------------------------------ LRU stack inclusion
+
+
+@given(addrs=streams, ways=st.integers(min_value=1, max_value=16),
+       set_bits=st.integers(min_value=0, max_value=3))
+def test_lru_simulator_is_a_stack_algorithm(addrs, ways, set_bits):
+    """Fig. 3 generalised: the LRU cache == the top-``ways`` of the stack."""
+    assert lru_stack_mismatches(addrs, ways, num_sets=1 << set_bits) == []
+
+
+@given(addrs=streams, set_bits=st.integers(min_value=0, max_value=3))
+def test_lru_misses_monotone_nonincreasing_in_ways(addrs, set_bits):
+    """More ways (bigger cache at the same sets) never miss more under LRU."""
+    assert monotone_violations(
+        addrs, [1, 2, 3, 4, 6, 8, 16], num_sets=1 << set_bits
+    ) == []
+
+
+@given(addrs=streams)
+def test_stack_inclusion_implies_per_prefix_monotonicity(addrs):
+    """Misses at w+1 ways never exceed misses at w, for every adjacent pair."""
+    assert monotone_violations(addrs, list(range(1, 9))) == []
+
+
+def test_known_non_stack_sequence_still_monotone_under_lru():
+    # the classic Belady-anomaly FIFO sequence; LRU must stay anomaly-free
+    seq = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+    assert monotone_violations(seq, [3, 4]) == []
+
+
+# ------------------------------------------------------- vanishing theft
+
+
+# an idle Pirate spins on one line; the only fetches it can incur are the
+# cold fill of that line plus re-fetches after the Target evicts it, so
+# its ratio must sit orders of magnitude below the 3% trust threshold
+IDLE_RESIDUAL = 1e-3
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=5)
+def test_pirate_stealing_nothing_fetches_almost_nothing(seed):
+    """S -> 0 limit: only the spin line's cold fill remains, any seed."""
+    factory = benchmark_target("povray", seed=seed)
+    assert pirate_idle_fetch_ratio(factory, 5_000, 45_000, seed=seed) < IDLE_RESIDUAL
+
+
+@pytest.mark.parametrize("name", ["gromacs", "libquantum", "mcf"])
+def test_idle_pirate_fetch_ratio_negligible_across_workload_kinds(name):
+    factory = benchmark_target(name, seed=3)
+    assert pirate_idle_fetch_ratio(factory, 5_000, 50_000) < IDLE_RESIDUAL
+
+
+# --------------------------------------------------- serial == parallel
+
+
+def test_serial_and_parallel_suites_are_equivalent():
+    """Worker fan-out must not change a single bit of the report."""
+    serial = validate_suite(["povray"], GOLDEN_TIER, seed=5, workers=0)
+    pooled = validate_suite(["povray"], GOLDEN_TIER, seed=5, workers=2)
+    assert reports_equivalent(serial, pooled)
+    # and the golden scenario exercises the identical path
+    assert conformance_scenario(workers=2) == serial.to_dict()
+
+
+def test_reports_equivalent_detects_differences():
+    a = validate_suite(["povray"], GOLDEN_TIER, seed=5)
+    b = validate_suite(["povray"], GOLDEN_TIER, seed=6)
+    assert reports_equivalent(a, a)
+    assert not reports_equivalent(a, b)  # different seed, different markers
+    assert not reports_equivalent(a, a.reports[0])  # type-mismatch guard
