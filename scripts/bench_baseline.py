@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Record the kernel-benchmark baseline as ``BENCH_kernels.json``.
+
+Runs the scalar/auto/vector/sampled microbenches from
+``benchmarks/bench_kernels.py`` and writes the payload to the repository
+root (or ``--out``).  The checked-in file is the perf trajectory's anchor:
+re-run after any engine change and review the speedup deltas like any other
+regression diff.
+
+    python scripts/bench_baseline.py --quick
+
+``--check-speedup X`` additionally fails the run if the Pirate-sweep
+vectorized speedup fell below ``X`` (what the CI perf-smoke enforces).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from bench_kernels import collect  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller tier (CI)")
+    parser.add_argument(
+        "--out", default=str(REPO / "BENCH_kernels.json"),
+        help="output path (default: repo root)",
+    )
+    parser.add_argument(
+        "--check-speedup", type=float, default=None, metavar="X",
+        help="fail unless the Pirate-sweep vectorized speedup is >= X",
+    )
+    args = parser.parse_args(argv)
+    payload = collect(quick=args.quick)
+    Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    for name, bench in payload["benches"].items():
+        print(
+            f"  {name}: scalar {bench['scalar_s']}s  auto {bench['auto_s']}s "
+            f"({bench['auto_speedup']}x)  vector {bench['vector_s']}s "
+            f"({bench['vector_speedup']}x)  sampled/8 {bench['sampled8_s']}s "
+            f"({bench['sampled_speedup']}x)"
+        )
+    if args.check_speedup is not None:
+        got = payload["benches"]["pirate_sweep"]["vector_speedup"]
+        if got < args.check_speedup:
+            print(f"FAIL pirate_sweep speedup {got}x < {args.check_speedup}x")
+            return 1
+        print(f"ok pirate_sweep speedup {got}x >= {args.check_speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

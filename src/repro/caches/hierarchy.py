@@ -16,14 +16,43 @@ Semantics modelled (all load-bearing for the paper's experiments):
 * demand fetches vs prefetch fetches counted separately per core (§I-B),
 * a per-core stream prefetcher training on L2 misses and filling the L3.
 
-The per-access loop is the hottest code in the library: it uses the caches'
-int-code protocol (no allocation per access), pre-bound locals, and inlined
-set/tag splitting.  ``access_chunk(..., bypass_private=True)`` additionally
-skips the private levels — exact for streaming threads whose reuse distance
-exceeds the L2 (the Pirate; see ``repro.core.pirate``) and used only there.
+The per-access loop is the hottest code in the library.  Two execution
+engines share it:
+
+* the scalar loops below — the caches' int-code protocol (no allocation
+  per access), pre-bound locals, inlined set/tag splitting;
+* the vectorized kernels in :mod:`repro.kernels` — numpy batch kernels
+  that are bit-identical to the scalar loops.
+
+:meth:`access_chunk` dispatches per chunk based on ``MachineConfig.kernel``:
+
+``scalar``
+    always the scalar loops (and plain scalar cache classes);
+``vector``
+    the kernels wherever they apply — the L3-only kernel for
+    private-level-bypass chunks, the pipelined kernel for full-path chunks
+    (prefetcher included; it runs unmodified inside the L3 stage);
+``auto`` (default)
+    the L3-only kernel for bypass-private chunks big enough to amortize
+    the batch setup (with a scalar bail-out for set-skewed chunks where
+    round decomposition degenerates); for full-path chunks an online cost
+    router: both engines are bit-identical, so the dispatcher measures
+    their per-access wall time and runs whichever is currently cheaper,
+    re-probing the loser periodically to track workload phase changes.
+
+``access_chunk(..., bypass_private=True)`` additionally skips the private
+levels — exact for streaming threads whose reuse distance exceeds the L2
+(the Pirate; see ``repro.core.pirate``) and used only there.
+
+Set sampling (``MachineConfig.sample_sets = N > 1``) simulates only every
+``N``-th L3 set and rescales each chunk's L3-derived counters by ``N``;
+private levels stay exact.  See ``DESIGN.md`` for the error model.
 """
 
 from __future__ import annotations
+
+from itertools import repeat
+from time import perf_counter
 
 import numpy as np
 
@@ -32,6 +61,46 @@ from .base import CoreMemStats
 from .prefetch import StreamPrefetcher
 from .setassoc import MISS_DIRTY, SetAssocCache, make_cache
 
+#: ``auto`` kernel mode only batches chunks at least this long; below it the
+#: numpy setup costs more than the scalar loop saves.
+AUTO_MIN_CHUNK = 64
+
+#: Adaptive segmentation of full-path chunks handed to the pipelined kernel.
+#: The kernel's optimistic L1/L2 stages roll back when an inclusive-L3
+#: eviction hits a line resident in this core's private caches; a rollback
+#: re-runs its whole segment, so segments shrink (``>> 1``) after a rollback
+#: and grow (``<< 1``) after a clean segment.  Splitting a chunk is exact:
+#: processing is sequential either way.
+SEG_INIT = 512
+SEG_MIN = 64
+SEG_MAX = 4096
+
+#: ``auto`` full-path routing: scalar walk vs pipelined kernel is purely a
+#: speed decision (they are bit-identical), made per core from an EWMA of
+#: each engine's measured seconds per access.  The currently-losing engine
+#: is re-run every AUTO_PROBE_EVERY chunks so its estimate stays current.
+AUTO_PROBE_EVERY = 32
+AUTO_COST_DECAY = 0.5  # EWMA weight of the newest observation
+
+_kernels_mod = None
+
+
+def _kernels():
+    """Import :mod:`repro.kernels` lazily.
+
+    The kernels package imports the cache models, and this module is pulled
+    in by ``repro.caches.__init__`` — a module-level import here would make
+    ``import repro.kernels`` (e.g. by the kernel test suite) hit a
+    partially-initialized module.  Deferring to first hierarchy
+    construction breaks the cycle for both import orders.
+    """
+    global _kernels_mod
+    if _kernels_mod is None:
+        from .. import kernels
+
+        _kernels_mod = kernels
+    return _kernels_mod
+
 
 class CacheHierarchy:
     """Private L1/L2 per core plus one shared L3."""
@@ -39,9 +108,31 @@ class CacheHierarchy:
     def __init__(self, config: MachineConfig, seed: int = 0):
         self.config = config
         n = config.num_cores
-        self.l1: list[SetAssocCache] = [make_cache(config.l1, seed) for _ in range(n)]
-        self.l2: list[SetAssocCache] = [make_cache(config.l2, seed) for _ in range(n)]
-        self.l3: SetAssocCache = make_cache(config.l3, seed)
+        self._kernel = config.kernel
+        if self._kernel == "scalar":
+            self._kern = None
+            self.l1: list[SetAssocCache] = [
+                make_cache(config.l1, seed) for _ in range(n)
+            ]
+            self.l2: list[SetAssocCache] = [
+                make_cache(config.l2, seed) for _ in range(n)
+            ]
+            self.l3: SetAssocCache = make_cache(config.l3, seed)
+        else:
+            # SoA caches at every level feed the batch kernels.  Uncovered
+            # policies (random; NRU way counts outside the mask math)
+            # silently stay scalar, which simply disables the corresponding
+            # kernel.
+            kern = self._kern = _kernels()
+            self.l1 = [
+                kern.make_vec_cache(config.l1) or make_cache(config.l1, seed)
+                for _ in range(n)
+            ]
+            self.l2 = [
+                kern.make_vec_cache(config.l2) or make_cache(config.l2, seed)
+                for _ in range(n)
+            ]
+            self.l3 = kern.make_vec_cache(config.l3) or make_cache(config.l3, seed)
         self.prefetchers: list[StreamPrefetcher | None] = [
             StreamPrefetcher(config.prefetch_trigger, config.prefetch_degree)
             if config.prefetch_enabled
@@ -55,6 +146,25 @@ class CacheHierarchy:
         #: see ``MachineConfig.private_data``).
         self._owner: dict[int, int] = {}
         self._private_data: bool = config.private_data
+        #: per-core "has ever filled its private caches" flag: a core that
+        #: only ran bypass-private chunks (the Pirate) has empty L1/L2, so
+        #: back-invalidating its victims can skip the invalidate scans
+        self._priv_filled: list[bool] = [False] * n
+        #: set-sampling step N (1 = exact) and the line-address mask that
+        #: selects sampled lines (``line & mask == 0``; the mask covers the
+        #: low bits of the L3 set index).
+        self._sample_step: int = config.sample_sets
+        self._sample_mask: int = config.sample_sets - 1
+        #: per-core pipelined-kernel segment length (adaptive): halved when a
+        #: segment rolls back, doubled while segments stay clean, so the cost
+        #: of a back-invalidation rollback is bounded by one small segment
+        self._seg_len: list[int] = [SEG_INIT] * n
+        #: set by the pipelined kernel when a chunk ends in a rollback
+        self._rolled_back = False
+        #: per-core measured full-path engine cost (seconds/access EWMA),
+        #: indexed [scalar, kernel]; None until first measured
+        self._full_cost: list[list[float | None]] = [[None, None] for _ in range(n)]
+        self._full_tick: list[int] = [0] * n
 
     # -- single access (diagnostics / tiny tests) ----------------------------
 
@@ -73,22 +183,166 @@ class CacheHierarchy:
     ) -> CoreMemStats:
         """Run a sequence of demand accesses for ``core``.
 
-        ``lines`` is a sequence of line addresses (numpy arrays are converted
-        once); ``writes`` is an optional parallel boolean sequence (all-read
-        when omitted).  Returns the chunk's :class:`CoreMemStats` and folds it
-        into :attr:`totals`.
+        ``lines`` is a sequence of line addresses; ``writes`` is an optional
+        parallel boolean sequence (all-read when omitted).  ndarray inputs
+        are handed to the vectorized kernels as-is and converted to lists
+        only if the chunk actually takes a scalar path.  Returns the chunk's
+        :class:`CoreMemStats` (L3 counters rescaled under set sampling) and
+        folds it into :attr:`totals`.
         """
+        if bypass_private:
+            stats = self._dispatch_l3_only(core, lines, writes)
+        else:
+            if len(lines):
+                self._priv_filled[core] = True
+            stats = self._dispatch_full(core, lines, writes)
+        if self._sample_mask:
+            s = self._sample_step
+            stats.l3_hits *= s
+            stats.l3_misses *= s
+            stats.l3_fetches *= s
+            stats.prefetch_fills *= s
+            stats.dram_writeback_lines *= s
+        self.totals[core].add(stats)
+        return stats
+
+    # -- kernel dispatch ---------------------------------------------------------
+
+    def _dispatch_l3_only(self, core: int, lines, writes) -> CoreMemStats:
+        mode = self._kernel
+        if mode != "scalar" and isinstance(self.l3, self._kern.VecSetAssocCache):
+            force = mode == "vector"
+            if force or len(lines) >= AUTO_MIN_CHUNK:
+                arr = np.asarray(lines, dtype=np.int64)
+                warr = None if writes is None else np.asarray(writes, dtype=bool)
+                stats = self._kern.run_l3_chunk(self, core, arr, warr, force=force)
+                if stats is not None:
+                    return stats
         if isinstance(lines, np.ndarray):
             lines = lines.tolist()
         if isinstance(writes, np.ndarray):
             writes = writes.tolist()
+        return self._access_chunk_l3_only(core, lines, writes)
 
-        if bypass_private:
-            stats = self._access_chunk_l3_only(core, lines, writes)
-        else:
-            stats = self._access_chunk_full(core, lines, writes)
-        self.totals[core].add(stats)
-        return stats
+    def _dispatch_full(self, core: int, lines, writes) -> CoreMemStats:
+        mode = self._kernel
+        vec = self._kern.VecSetAssocCache if mode != "scalar" else None
+        if (
+            vec is not None
+            and isinstance(self.l1[core], vec)
+            and isinstance(self.l2[core], vec)
+            and isinstance(self.l3, vec)
+        ):
+            if mode == "vector":
+                arr = np.asarray(lines, dtype=np.int64)
+                warr = None if writes is None else np.asarray(writes, dtype=bool)
+                return self._run_full_segmented(core, arr, warr, True)
+            if len(lines) >= AUTO_MIN_CHUNK:
+                return self._route_full_auto(core, lines, writes)
+        if isinstance(lines, np.ndarray):
+            lines = lines.tolist()
+        if isinstance(writes, np.ndarray):
+            writes = writes.tolist()
+        return self._access_chunk_full(core, lines, writes)
+
+    def _route_full_auto(self, core: int, lines, writes) -> CoreMemStats:
+        """``auto`` full-path routing by measured per-access cost.
+
+        The scalar walk and the pipelined kernel produce identical stats and
+        cache state, so the choice between them can never change a result —
+        the router just runs whichever engine's seconds-per-access EWMA is
+        currently lower.  Estimates come only from *paired probes*: every
+        :data:`AUTO_PROBE_EVERY` chunks the chunk is split in half and each
+        engine runs one half, so both costs are measured on the same
+        workload phase (engine costs swing several-fold between e.g. a
+        Pirate-resize miss storm and steady-state hits, which would make
+        timings taken on different chunks incomparable).  The half order
+        alternates between probes to cancel any first-half bias.  All other
+        chunks run the current winner, untimed.
+        """
+        cost = self._full_cost[core]
+        tick = self._full_tick[core]
+        self._full_tick[core] = tick + 1
+        n = len(lines)
+        need = cost[0] is None or cost[1] is None
+        if (need or tick % AUTO_PROBE_EVERY == 0) and n >= 2 * AUTO_MIN_CHUNK:
+            arr = np.asarray(lines, dtype=np.int64)
+            warr = None if writes is None else np.asarray(writes, dtype=bool)
+            mid = n >> 1
+            kernel_first = bool(tick & 1)
+            stats = None
+            for h, (i, j) in enumerate(((0, mid), (mid, n))):
+                use_kernel = (h == 0) == kernel_first
+                t0 = perf_counter()
+                if use_kernel:
+                    st = self._run_full_segmented(
+                        core, arr[i:j], None if warr is None else warr[i:j], False
+                    )
+                else:
+                    st = self._access_chunk_full(
+                        core,
+                        arr[i:j].tolist(),
+                        None if warr is None else warr[i:j].tolist(),
+                    )
+                dt = (perf_counter() - t0) / (j - i)
+                slot = 1 if use_kernel else 0
+                prev = cost[slot]
+                cost[slot] = (
+                    dt if prev is None else prev + AUTO_COST_DECAY * (dt - prev)
+                )
+                if stats is None:
+                    stats = st
+                else:
+                    stats.add(st)
+            return stats
+        if cost[1] is not None and (cost[0] is None or cost[1] < cost[0]):
+            arr = np.asarray(lines, dtype=np.int64)
+            warr = None if writes is None else np.asarray(writes, dtype=bool)
+            return self._run_full_segmented(core, arr, warr, False)
+        if isinstance(lines, np.ndarray):
+            lines = lines.tolist()
+        if isinstance(writes, np.ndarray):
+            writes = writes.tolist()
+        return self._access_chunk_full(core, lines, writes)
+
+    def _run_full_segmented(self, core: int, arr, warr, force: bool) -> CoreMemStats:
+        """Feed a full-path chunk to the pipelined kernel in adaptive segments."""
+        run = self._kern.run_full_chunk
+        n = len(arr)
+        seg = self._seg_len[core]
+        total = None
+        i = 0
+        while i < n:
+            j = min(i + seg, n)
+            self._rolled_back = False
+            stats = run(
+                self,
+                core,
+                arr[i:j],
+                None if warr is None else warr[i:j],
+                force=force,
+            )
+            if stats is None:
+                # auto-mode skew bail: this segment runs scalar, the rest of
+                # the chunk still gets the kernel
+                stats = self._access_chunk_full(
+                    core,
+                    arr[i:j].tolist(),
+                    None if warr is None else warr[i:j].tolist(),
+                )
+            elif self._rolled_back:
+                seg = max(SEG_MIN, seg >> 1)
+            elif j - i >= seg:
+                seg = min(SEG_MAX, seg << 1)
+            if total is None:
+                total = stats
+            else:
+                total.add(stats)
+            i = j
+        self._seg_len[core] = seg
+        return total
+
+    # -- scalar engines ----------------------------------------------------------
 
     def _access_chunk_full(self, core: int, lines, writes) -> CoreMemStats:
         l1 = self.l1[core]
@@ -103,14 +357,14 @@ class CacheHierarchy:
         l3_probe = l3.probe
         pf_observe = pf.observe if pf is not None else None
         owner = self._owner
+        smask = self._sample_mask
 
         m1, b1 = l1.set_mask, l1.tag_shift
         m2, b2 = l2.set_mask, l2.tag_shift
         m3, b3 = l3.set_mask, l3.tag_shift
 
         stats = CoreMemStats()
-        n = len(lines)
-        stats.mem_accesses = n
+        stats.mem_accesses = len(lines)
         l1_hits = 0
         l2_hits = 0
         l3_hits = 0
@@ -119,10 +373,8 @@ class CacheHierarchy:
         pf_fills = 0
         wb_lines = 0
 
-        for i in range(n):
-            line = lines[i]
-            w = False if writes is None else writes[i]
-
+        writes_it = repeat(False) if writes is None else writes
+        for line, w in zip(lines, writes_it):
             c1 = l1_code(line & m1, line >> b1, w)
             if c1 == 0:  # HIT
                 l1_hits += 1
@@ -137,20 +389,25 @@ class CacheHierarchy:
             if c2 == 3:
                 wb_lines += self._writeback_to_l3(l2.join(line & m2, l2.victim_tag))
 
-            # demand access reaches the shared L3
-            c3 = l3_code(line & m3, line >> b3, False)
-            if c3 == 0:
-                l3_hits += 1
-            else:
-                l3_misses += 1
-                l3_fetches += 1
-                owner[line] = core
-                if c3 >= 2:  # eviction happened
-                    wb_lines += self._back_invalidate(
-                        l3.join(line & m3, l3.victim_tag), c3 == 3
-                    )
+            # demand access reaches the shared L3 (unless its set is unsampled)
+            if not (smask and line & smask):
+                c3 = l3_code(line & m3, line >> b3, False)
+                if c3 == 0:
+                    l3_hits += 1
+                else:
+                    l3_misses += 1
+                    l3_fetches += 1
+                    owner[line] = core
+                    if c3 >= 2:  # eviction happened
+                        wb_lines += self._back_invalidate(
+                            l3.join(line & m3, l3.victim_tag), c3 == 3
+                        )
             if pf_observe is not None:
+                # the prefetcher trains on every L2 miss (full fidelity even
+                # under sampling) but only fills sampled L3 sets
                 for pline in pf_observe(line):
+                    if smask and pline & smask:
+                        continue
                     ps = pline & m3
                     pt = pline >> b3
                     if l3_probe(ps, pt) < 0:
@@ -186,17 +443,18 @@ class CacheHierarchy:
         l3_code = l3._access_code
         m3, b3 = l3.set_mask, l3.tag_shift
         owner = self._owner
+        smask = self._sample_mask
 
         stats = CoreMemStats()
-        n = len(lines)
-        stats.mem_accesses = n
+        stats.mem_accesses = len(lines)
         l3_hits = 0
         l3_misses = 0
         wb_lines = 0
 
-        for i in range(n):
-            line = lines[i]
-            w = False if writes is None else writes[i]
+        writes_it = repeat(False) if writes is None else writes
+        for line, w in zip(lines, writes_it):
+            if smask and line & smask:
+                continue
             c3 = l3_code(line & m3, line >> b3, w)
             if c3 == 0:
                 l3_hits += 1
@@ -227,6 +485,10 @@ class CacheHierarchy:
 
     def _writeback_to_l3(self, line: int) -> int:
         """Dirty L2 victim written back; returns 1 if it had to go to DRAM."""
+        if self._sample_mask and line & self._sample_mask:
+            # the line's L3 set is not simulated under sampling; its
+            # writeback traffic is represented by the sampled sets' rescale
+            return 0
         l3 = self.l3
         if l3.mark_dirty(line & l3.set_mask, line >> l3.tag_shift):
             return 0
@@ -242,6 +504,10 @@ class CacheHierarchy:
         dirty = l3_dirty
         owner = self._owner.pop(line, -1)
         if self._private_data and owner >= 0:
+            if not self._priv_filled[owner]:
+                # the owner never filled its private caches (bypass-private
+                # Pirate): nothing to scan
+                return 1 if dirty else 0
             l1 = self.l1[owner]
             present, was_dirty = l1.invalidate(line & l1.set_mask, line >> l1.tag_shift)
             if present and was_dirty:
@@ -251,11 +517,15 @@ class CacheHierarchy:
             if present and was_dirty:
                 dirty = True
             return 1 if dirty else 0
-        for l1 in self.l1:
+        for filled, l1 in zip(self._priv_filled, self.l1):
+            if not filled:
+                continue
             present, was_dirty = l1.invalidate(line & l1.set_mask, line >> l1.tag_shift)
             if present and was_dirty:
                 dirty = True
-        for l2 in self.l2:
+        for filled, l2 in zip(self._priv_filled, self.l2):
+            if not filled:
+                continue
             present, was_dirty = l2.invalidate(line & l2.set_mask, line >> l2.tag_shift)
             if present and was_dirty:
                 dirty = True
@@ -271,6 +541,7 @@ class CacheHierarchy:
             c.flush()
         self.l3.flush()
         self._owner.clear()
+        self._priv_filled = [False] * len(self.l1)
         for pf in self.prefetchers:
             if pf is not None:
                 pf.reset()

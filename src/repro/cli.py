@@ -33,7 +33,7 @@ from pathlib import Path
 from .analysis.plot import plot_performance_curve
 from .analysis.report import format_quality_report
 from .analysis.reuse import reuse_profile
-from .config import nehalem_config
+from .config import KERNEL_MODES, nehalem_config
 from .core import choose_pirate_threads, measure_curve_dynamic, measure_curve_fixed
 from .core.bandit import measure_bandwidth_curve
 from .core.resilience import PartialCurve, RetryPolicy, measure_point_resilient
@@ -89,6 +89,32 @@ def _require_nonneg_int(value: int, what: str) -> int:
     return value
 
 
+def _add_engine_args(p: argparse.ArgumentParser) -> None:
+    """``--kernel``/``--sample-sets``: simulation-engine knobs shared by every
+    command that runs the machine."""
+    p.add_argument(
+        "--kernel", choices=KERNEL_MODES, default=None,
+        help="simulation engine: auto routes scalar vs vectorized kernels by "
+             "measured cost, scalar/vector force one (default: auto, or "
+             "$REPRO_KERNEL); all modes give bit-identical results",
+    )
+    p.add_argument(
+        "--sample-sets", type=int, default=1, metavar="N",
+        help="simulate every Nth shared-L3 set and rescale its counters "
+             "(power of two; 1 = exact)",
+    )
+
+
+def _engine_config(args, **kwargs):
+    """Build the machine config from the engine flags (+ command extras)."""
+    try:
+        return nehalem_config(
+            kernel=args.kernel, sample_sets=args.sample_sets, **kwargs
+        )
+    except ConfigError as e:
+        raise _CLIError(str(e)) from None
+
+
 def _resolve_workers(args) -> int | None:
     """Apply the ``--serial``/``--workers`` pair, rejecting contradictions."""
     workers = getattr(args, "workers", None)
@@ -124,6 +150,7 @@ def cmd_curve(args, out=print) -> int:
         total_instructions=args.total,
         interval_instructions=args.interval,
         benchmark=args.benchmark,
+        config=_engine_config(args),
         seed=args.seed,
         retry_policy=policy,
     )
@@ -147,6 +174,7 @@ def cmd_steal(args, out=print) -> int:
     # degradation disabled — the sweep exists to find where each exact size
     # stops being achievable, so substituting sizes would defeat it
     policy = RetryPolicy(max_attempts=args.retries + 1, degrade_after_attempt=10**6)
+    config = _engine_config(args)
     out(f"{'stolen MB':>10} {'pirate FR%':>11} {'target CPI':>11} {'ok':>3} {'att':>4}")
     best = 0.0
     for step in range(1, 16):
@@ -154,6 +182,7 @@ def cmd_steal(args, out=print) -> int:
         res, q = measure_point_resilient(
             _factory(args.benchmark, args.seed),
             stolen,
+            config=config,
             policy=policy,
             num_pirate_threads=args.threads,
             interval_instructions=args.interval,
@@ -178,6 +207,7 @@ def cmd_probe(args, out=print) -> int:
     _require_positive(args.interval, "--interval")
     probe = choose_pirate_threads(
         _factory(args.benchmark, args.seed),
+        config=_engine_config(args),
         max_threads=args.max_threads,
         probe_instructions=args.interval,
         seed=args.seed,
@@ -203,6 +233,7 @@ def cmd_bandwidth(args, out=print) -> int:
     curve = measure_bandwidth_curve(
         _factory(args.benchmark, args.seed),
         gaps,
+        config=_engine_config(args),
         interval_instructions=args.interval,
         warmup_instructions=args.interval,
         benchmark=args.benchmark,
@@ -245,6 +276,7 @@ def cmd_sweep(args, out=print) -> int:
         _factory(args.benchmark, args.seed),
         sizes,
         benchmark=args.benchmark,
+        config=_engine_config(args),
         interval_instructions=args.interval,
         n_intervals=args.intervals,
         seed=args.seed,
@@ -288,7 +320,9 @@ def cmd_validate(args, out=print) -> int:
         raise _CLIError("--quick and --full are mutually exclusive")
     workers = _resolve_workers(args) or 0
     tier = resolve_tier("full" if args.full else "quick")
-    config = nehalem_config(prefetch_enabled=False)
+    # sampling applies to the measured (pirated) side only; the reference
+    # replay forces sample_sets=1 (see reference.cachesim.single_core_config)
+    config = _engine_config(args, prefetch_enabled=False)
     if args.sizes:
         sizes = sorted(_parse_sizes(args.sizes))
         try:
@@ -339,6 +373,8 @@ def cmd_experiments(args, out=print) -> int:
     argv = ["--scale", args.scale]
     if args.only:
         argv += ["--only", args.only]
+    if args.kernel:
+        argv += ["--kernel", args.kernel]
     if workers is not None:
         argv += ["--workers", str(workers)]
     if args.cache_dir:
@@ -367,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=3,
         help="re-measurements allowed per invalid interval (0 disables the retry engine)",
     )
+    _add_engine_args(p)
     p.set_defaults(fn=cmd_curve)
 
     p = sub.add_parser("steal", help="how much cache the Pirate can steal")
@@ -378,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=1,
         help="re-measurements allowed per stolen size before it is reported unachievable",
     )
+    _add_engine_args(p)
     p.set_defaults(fn=cmd_steal)
 
     p = sub.add_parser("probe", help="pirate thread-count probe (§III-C)")
@@ -385,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-threads", type=int, default=2)
     p.add_argument("--interval", type=float, default=4e5)
     p.add_argument("--seed", type=int, default=1)
+    _add_engine_args(p)
     p.set_defaults(fn=cmd_probe)
 
     p = sub.add_parser("bandwidth", help="CPI vs available bandwidth (Bandit)")
@@ -392,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gaps", default="60,20,6,2,0.5")
     p.add_argument("--interval", type=float, default=4e5)
     p.add_argument("--seed", type=int, default=1)
+    _add_engine_args(p)
     p.set_defaults(fn=cmd_bandwidth)
 
     p = sub.add_parser("reuse", help="reuse-distance profile and miss model")
@@ -423,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--telemetry", default="",
                    help="write the run's span/metric stream to this JSONL file")
+    _add_engine_args(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("stats", help="render a telemetry JSONL stream as a run report")
@@ -455,6 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the structured conformance report to this file")
     p.add_argument("--telemetry", default="",
                    help="write the run's span/metric stream to this JSONL file")
+    _add_engine_args(p)
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
@@ -468,6 +510,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sweep result cache directory")
     p.add_argument("--telemetry", default="",
                    help="write the run's span/metric stream to this JSONL file")
+    p.add_argument("--kernel", choices=KERNEL_MODES, default=None,
+                   help="simulation engine for every experiment")
     p.set_defaults(fn=cmd_experiments)
 
     return parser

@@ -9,6 +9,7 @@ tiny variants through the same dataclasses.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from .errors import ConfigError
@@ -16,6 +17,19 @@ from .units import GHZ, KB, LINE_SIZE, MB, bytes_per_cycle, is_pow2
 
 #: Replacement policy identifiers accepted by :class:`CacheConfig`.
 POLICIES = ("lru", "nru", "plru", "random")
+
+#: Simulation-kernel modes accepted by :class:`MachineConfig`.
+KERNEL_MODES = ("auto", "scalar", "vector")
+
+
+def _default_kernel() -> str:
+    """Default kernel mode; ``REPRO_KERNEL`` overrides it process-wide.
+
+    The env hook lets harness scripts (``regen_goldens.py --kernel``, the CI
+    perf-smoke job, the benchmarks) force a mode without threading a flag
+    through every config construction site.
+    """
+    return os.environ.get("REPRO_KERNEL", "auto")
 
 
 @dataclass(frozen=True)
@@ -118,6 +132,17 @@ class MachineConfig:
     prefetch_trigger: int = 2
     #: Prefetch depth (lines fetched ahead of a detected stream).
     prefetch_degree: int = 4
+    #: Simulation-kernel selection: ``auto`` picks the vectorized numpy
+    #: kernels (:mod:`repro.kernels`) per chunk when they are profitable,
+    #: ``vector`` forces them wherever they apply, ``scalar`` keeps the
+    #: interpreter loops.  All modes are bit-identical; ``REPRO_KERNEL``
+    #: overrides the default process-wide.
+    kernel: str = field(default_factory=_default_kernel)
+    #: Shared-L3 set sampling: simulate every Nth L3 set and rescale the L3
+    #: counter deltas by N (1 = exact).  A statistical speed/accuracy trade
+    #: validated by ``repro validate``; must be a power of two not exceeding
+    #: the L3 set count.
+    sample_sets: int = 1
 
     def __post_init__(self) -> None:
         if self.num_cores <= 0:
@@ -127,6 +152,19 @@ class MachineConfig:
             raise ConfigError("all cache levels must share one line size")
         if self.dram_bandwidth_gbps <= 0 or self.l3_bandwidth_gbps <= 0:
             raise ConfigError("bandwidth caps must be positive")
+        if self.kernel not in KERNEL_MODES:
+            raise ConfigError(
+                f"unknown kernel mode {self.kernel!r}; choose one of {KERNEL_MODES}"
+            )
+        if self.sample_sets < 1 or not is_pow2(self.sample_sets):
+            raise ConfigError(
+                f"sample_sets must be a positive power of two, got {self.sample_sets}"
+            )
+        if self.sample_sets > self.l3.num_sets:
+            raise ConfigError(
+                f"sample_sets {self.sample_sets} exceeds the L3's "
+                f"{self.l3.num_sets} sets"
+            )
 
     @property
     def line_size(self) -> int:
@@ -144,10 +182,20 @@ class MachineConfig:
 
 
 def nehalem_config(
-    *, prefetch_enabled: bool = True, num_cores: int = 4
+    *,
+    prefetch_enabled: bool = True,
+    num_cores: int = 4,
+    kernel: str | None = None,
+    sample_sets: int = 1,
 ) -> MachineConfig:
     """The paper's evaluation machine (Table I + §III-A bandwidth figures)."""
-    return MachineConfig(num_cores=num_cores, prefetch_enabled=prefetch_enabled)
+    kwargs = {} if kernel is None else {"kernel": kernel}
+    return MachineConfig(
+        num_cores=num_cores,
+        prefetch_enabled=prefetch_enabled,
+        sample_sets=sample_sets,
+        **kwargs,
+    )
 
 
 def tiny_config(
@@ -157,12 +205,17 @@ def tiny_config(
     policy: str = "lru",
     num_cores: int = 2,
     prefetch_enabled: bool = False,
+    kernel: str | None = None,
+    sample_sets: int = 1,
 ) -> MachineConfig:
     """A miniature machine for unit tests (same code paths, tiny state)."""
+    kwargs = {} if kernel is None else {"kernel": kernel}
     return MachineConfig(
         num_cores=num_cores,
         l1=CacheConfig("L1", 1 * KB, 2, policy="plru"),
         l2=CacheConfig("L2", 2 * KB, 4, policy="plru"),
         l3=CacheConfig("L3", l3_size, l3_ways, policy=policy, inclusive=True, shared=True),
         prefetch_enabled=prefetch_enabled,
+        sample_sets=sample_sets,
+        **kwargs,
     )

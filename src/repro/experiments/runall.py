@@ -105,9 +105,12 @@ def run_all(
                 **_parallel_kwargs(module, workers, cache_dir, telemetry),
             )
         results[exp_id] = result
+        wall = time.perf_counter() - t0
         echo(f"\n{'=' * 72}")
         echo(result.format())
-        echo(f"[{exp_id}: {time.perf_counter() - t0:.1f}s at scale={scale.name}]")
+        # machine-parseable, one line per experiment (the CI perf smoke and
+        # bench_baseline.py grep for the REPRO-BENCH prefix)
+        echo(f"REPRO-BENCH bench={exp_id} wall_s={wall:.3f} scale={scale.name}")
     return results
 
 
@@ -130,7 +133,19 @@ def main(argv: list[str] | None = None) -> int:
         "--telemetry", default="",
         help="write the run's span/metric stream to this JSONL file",
     )
+    parser.add_argument(
+        "--kernel", choices=("auto", "scalar", "vector"), default=None,
+        help="simulation engine for every experiment (sets REPRO_KERNEL "
+             "for this process and its pool workers)",
+    )
     args = parser.parse_args(argv)
+    if args.kernel:
+        # the experiments build their configs internally; the env default
+        # (see repro.config) is the one switch they all honor, and it is
+        # inherited by parallel_map's spawned workers
+        import os
+
+        os.environ["REPRO_KERNEL"] = args.kernel
     if args.workers is not None and args.workers < 0:
         parser.error("--workers must be >= 0")
     scale = FULL if args.scale == "full" else QUICK

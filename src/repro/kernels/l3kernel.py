@@ -1,0 +1,229 @@
+"""Batched shared-L3 kernel for private-level-bypass streams (the Pirate).
+
+``_access_chunk_l3_only`` in the hierarchy walks a quantum's addresses one
+at a time; for the Pirate that is ~10^5 interpreter iterations per quantum
+over a perfectly predictable linear sweep.  This kernel replaces the loop
+with a handful of numpy passes while producing **bit-identical** cache
+state and counters:
+
+Round decomposition
+    Sort the chunk's accesses by L3 set (stable).  Round ``r`` consists of
+    the ``r``-th access to each distinct set — all sets within a round are
+    distinct, so a round's probes, touches, fills and victim choices are
+    mutually independent and can run as single vector operations.  Rounds
+    execute in order, which preserves each set's sequential access order,
+    and L3 sets never interact, so the result equals the scalar walk
+    exactly.  A Pirate sweep chunk touches every set almost uniformly:
+    ~10^5 accesses over 8192 sets collapse into ~13 vector rounds.
+
+Resident-set shortcut
+    Once the Pirate's working set is fully resident (fetch ratio ~0, the
+    steady state between size changes) an initial vectorized probe proves
+    the whole chunk hits.  No fills can then occur, so the chunk reduces to
+    counter bumps plus replacement touches: rounds of conflict-free batch
+    touches for NRU/PLRU, or — for LRU, where only each way's *last* touch
+    matters — a single ``maximum.at`` scatter with no rounds at all.
+
+Spin shortcut
+    An idle Pirate (working set 0) spins on one line; the chunk is one
+    scalar access plus a closed-form ``touch_repeat``.
+
+Back-invalidations and owner bookkeeping are replayed through the
+hierarchy's scalar helpers in original access order within each round —
+they touch private caches only, never the L3, so replay order across a
+round is immaterial while cross-round order is preserved.
+
+Set sampling (``MachineConfig.sample_sets = N``) filters the chunk to
+lines mapping to every ``N``-th L3 set before simulation; the hierarchy
+rescales the resulting L3 counter deltas by ``N``.
+
+The kernel returns ``None`` to make the caller fall back to the scalar
+walk when the chunk is set-skewed enough (adversarial single-set streams)
+that round decomposition degenerates; ``force=True`` (kernel mode
+``vector``) disables the bail-out so equivalence tests exercise the
+kernel on exactly those streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..caches.base import CoreMemStats
+from ..caches.setassoc import HIT, MISS_CLEAN, MISS_DIRTY
+from .veccache import VecSetAssocCache
+
+
+def _too_many_rounds(k: int, nrounds: int) -> bool:
+    """Auto-mode bail-out: per-round overhead would beat the scalar loop."""
+    return nrounds > max(64, k // 8)
+
+
+def run_l3_chunk(
+    hier,
+    core: int,
+    lines: np.ndarray,
+    writes: np.ndarray | None,
+    *,
+    force: bool = False,
+) -> CoreMemStats | None:
+    """Vectorized equivalent of ``CacheHierarchy._access_chunk_l3_only``.
+
+    ``lines`` must be an int64 array, ``writes`` a parallel bool array or
+    None.  Returns the chunk's (unscaled) stats, or ``None`` when the
+    caller should use the scalar path instead (only without ``force``).
+    """
+    l3 = hier.l3
+    assert isinstance(l3, VecSetAssocCache)
+
+    stats = CoreMemStats()
+    stats.mem_accesses = len(lines)
+
+    smask = hier._sample_mask
+    if smask:
+        keep = (lines & smask) == 0
+        lines = lines[keep]
+        if writes is not None:
+            writes = writes[keep]
+    k = len(lines)
+    if k == 0:
+        return stats
+
+    if k > 1 and lines[0] == lines[-1] and bool((lines == lines[0]).all()):
+        _constant_chunk(hier, core, int(lines[0]), writes, k, stats)
+        return stats
+
+    sets = lines & l3.set_mask
+    tags = lines >> l3.tag_shift
+
+    # round decomposition: occ[i] = how many earlier chunk accesses hit the
+    # same set; round r = all accesses with occ == r (distinct sets)
+    order = np.argsort(sets, kind="stable")
+    ssorted = sets[order]
+    newgrp = np.empty(k, dtype=bool)
+    newgrp[0] = True
+    np.not_equal(ssorted[1:], ssorted[:-1], out=newgrp[1:])
+    gstarts = np.flatnonzero(newgrp)
+    occ_sorted = np.arange(k, dtype=np.int64) - np.repeat(
+        gstarts, np.diff(np.append(gstarts, k))
+    )
+    nrounds = int(occ_sorted.max()) + 1
+    if not force and _too_many_rounds(k, nrounds):
+        return None
+
+    hit0, way0 = l3.probe_batch(sets, tags)
+    if hit0.all():
+        # resident-set shortcut: nothing fills, so the initial probe stays
+        # valid for the whole chunk and only touches/dirty bits change
+        l3.acc_count += k
+        l3.hit_count += k
+        stats.l3_hits = k
+        if hasattr(l3, "touch_last_batch"):
+            if writes is not None and writes.any():
+                np.bitwise_or.at(
+                    l3._dirty, sets[writes], np.int64(1) << way0[writes]
+                )
+            l3.touch_last_batch(sets, way0, k)
+            return stats
+        occ = np.empty(k, dtype=np.int64)
+        occ[order] = occ_sorted
+        r_order = np.argsort(occ, kind="stable")
+        bounds = np.searchsorted(occ[r_order], np.arange(nrounds + 1))
+        for r in range(nrounds):
+            idx = r_order[bounds[r] : bounds[r + 1]]
+            l3.touch_hits_batch(
+                sets[idx], way0[idx], None if writes is None else writes[idx]
+            )
+        return stats
+
+    # general path: per round, vector probe + hit touches + batched fills,
+    # with owner/back-invalidation events replayed scalar in original order
+    occ = np.empty(k, dtype=np.int64)
+    occ[order] = occ_sorted
+    r_order = np.argsort(occ, kind="stable")
+    bounds = np.searchsorted(occ[r_order], np.arange(nrounds + 1))
+
+    owner = hier._owner
+    back_inv = hier._back_invalidate
+    tag_shift = l3.tag_shift
+    l3_hits = 0
+    l3_misses = 0
+    wb_lines = 0
+    last_victim_pos = -1
+    last_victim_tag = None
+
+    for r in range(nrounds):
+        idx = r_order[bounds[r] : bounds[r + 1]]
+        rs = sets[idx]
+        rt = tags[idx]
+        rw = None if writes is None else writes[idx]
+        hit, way = l3.probe_batch(rs, rt)
+        nh = int(hit.sum())
+        m = len(idx) - nh
+        l3.acc_count += len(idx)
+        l3.hit_count += nh
+        l3.miss_count += m
+        l3_hits += nh
+        if nh:
+            l3.touch_hits_batch(
+                rs[hit], way[hit], None if rw is None else rw[hit]
+            )
+        if m == 0:
+            continue
+        miss = ~hit
+        ms = rs[miss]
+        mt = rt[miss]
+        codes, vtags = l3.fill_batch(ms, mt, None if rw is None else rw[miss])
+        l3_misses += m
+        midx = idx[miss]
+        for ln in lines[midx].tolist():
+            owner[ln] = core
+        ev = codes >= MISS_CLEAN
+        if ev.any():
+            vlines = (vtags[ev] << tag_shift) | ms[ev]
+            vdirty = codes[ev] == MISS_DIRTY
+            for vline, vd in zip(vlines.tolist(), vdirty.tolist()):
+                wb_lines += back_inv(vline, vd)
+            # keep the victim_tag side channel matching the scalar walk
+            # (the last eviction in original chunk order wins)
+            pos = midx[ev]
+            j = int(pos.argmax())
+            if int(pos[j]) > last_victim_pos:
+                last_victim_pos = int(pos[j])
+                last_victim_tag = int(vtags[ev][j])
+
+    if last_victim_pos >= 0:
+        l3.victim_tag = last_victim_tag
+    stats.l3_hits = l3_hits
+    stats.l3_misses = l3_misses
+    stats.l3_fetches = l3_misses
+    stats.dram_writeback_lines = wb_lines
+    return stats
+
+
+def _constant_chunk(
+    hier, core: int, line: int, writes: np.ndarray | None, k: int, stats: CoreMemStats
+) -> None:
+    """Spin shortcut: ``k`` accesses to one line (the idle Pirate)."""
+    l3 = hier.l3
+    s = line & l3.set_mask
+    t = line >> l3.tag_shift
+    w0 = bool(writes[0]) if writes is not None else False
+    c = l3._access_code(s, t, w0)
+    if c == HIT:
+        stats.l3_hits = k
+    else:
+        stats.l3_hits = k - 1
+        stats.l3_misses = 1
+        stats.l3_fetches = 1
+        hier._owner[line] = core
+        if c >= MISS_CLEAN:
+            stats.dram_writeback_lines += hier._back_invalidate(
+                l3.join(s, l3.victim_tag), c == MISS_DIRTY
+            )
+    if k > 1:
+        way = l3.probe(s, t)
+        l3.acc_count += k - 1
+        l3.hit_count += k - 1
+        if writes is not None and bool(writes[1:].any()):
+            l3._dirty[s] |= 1 << way
+        l3.touch_repeat(s, way, k - 1)

@@ -1,0 +1,712 @@
+"""Pipelined full-hierarchy chunk kernel (batched L1/L2, in-order L3).
+
+The scalar full-path walk interleaves every level per access; that order
+only *matters* where levels actually couple.  Within one chunk (one core's
+scheduling quantum — no other core runs) the couplings are:
+
+* downward streams: L1 misses become L2 demand accesses, dirty L1 victims
+  are installed into L2, L2 misses (plus dirty L2 victims and prefetch
+  fills) reach the L3 — all one-directional and position-ordered;
+* one upward feedback edge: an inclusive-L3 eviction back-invalidates the
+  victim line from the private caches, which can change later L1/L2
+  behaviour **iff the victim is currently resident in this core's L1/L2**.
+
+This kernel exploits that structure:
+
+1. **L1 stage** — round decomposition by L1 set (see
+   :mod:`repro.kernels.l3kernel`): vector probes, batched hit touches and
+   fills.  Exact, because nothing upstream feeds the L1.  Outputs the
+   position-ordered miss stream and dirty-victim install events.
+2. **L2 stage** — the merged install+demand event stream (installs sort
+   before the same position's demand access, matching the scalar walk),
+   round-decomposed by L2 set.  Outputs the L3 demand stream and dirty
+   L2-victim writeback events.
+3. **L3 stage** — a scalar in-order loop over the merged L3 events
+   (writebacks, demand accesses, prefetcher training and fills), exactly
+   the scalar walk's L3 code.  It has to stay sequential: whether a
+   prefetch fill happens depends on the L3 state at that position.
+
+The optimistic assumption of stages 1–2 is that no back-invalidation in
+stage 3 hits a line resident in this core's L1/L2.  Each L3 eviction is
+checked against a conservative superset (current L1/L2 tag lists plus
+every line the chunk evicted from them); a hit triggers **rollback**: the
+private levels rewind to their chunk-start snapshot, the prefix replays
+through L1/L2 only (its L3 effects are already exact), and the remainder
+of the chunk runs the plain scalar walk.  The check errs only toward
+unnecessary rollbacks, so the kernel is bit-identical to the scalar walk
+in every case; rollbacks are rare because an inclusive L3's LRU/NRU victim
+is by construction a cold line while the small private caches hold the
+hottest ones.
+
+Set sampling skips the L3 stage for unsampled lines (the prefetcher still
+trains at full fidelity but only fills sampled sets) while the private
+levels stay exact; the hierarchy rescales the L3 counter deltas.
+
+``force=False`` (kernel mode ``auto``) bails out — before mutating
+anything — when the chunk is so set-skewed that round decomposition
+degenerates; ``force=True`` (mode ``vector``) always runs the kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..caches.base import CoreMemStats
+from ..caches.setassoc import MISS_CLEAN, MISS_DIRTY
+from .l3kernel import _too_many_rounds
+
+#: Once a pass's residual shrinks below this, finish it with the scalar
+#: per-access protocol: numpy fixed costs dominate tiny batches, and pass
+#: sizes decay geometrically, so the tail is where vectorization loses.
+_SCALAR_TAIL = 96
+
+
+def _rounds(sets: np.ndarray) -> tuple[int, np.ndarray, np.ndarray]:
+    """Round-decompose an access stream by set.
+
+    Returns ``(nrounds, r_order, bounds)`` where round ``r`` consists of the
+    stream indices ``r_order[bounds[r]:bounds[r+1]]`` — the ``r``-th access
+    to each distinct set, in stream order.  Sets within a round are
+    distinct, so a round's batch operations never collide; rounds in order
+    preserve every set's sequential access order.
+    """
+    k = len(sets)
+    order = np.argsort(sets, kind="stable")
+    ssorted = sets[order]
+    newgrp = np.empty(k, dtype=bool)
+    newgrp[0] = True
+    np.not_equal(ssorted[1:], ssorted[:-1], out=newgrp[1:])
+    gstarts = np.flatnonzero(newgrp)
+    occ_sorted = np.arange(k, dtype=np.int64) - np.repeat(
+        gstarts, np.diff(np.append(gstarts, k))
+    )
+    nrounds = int(occ_sorted.max()) + 1
+    occ = np.empty(k, dtype=np.int64)
+    occ[order] = occ_sorted
+    r_order = np.argsort(occ, kind="stable")
+    bounds = np.searchsorted(occ[r_order], np.arange(nrounds + 1))
+    return nrounds, r_order, bounds
+
+
+def _split_sorted(ssorted: np.ndarray, hit_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a set-sorted stream at each set's first predicted miss.
+
+    ``hit_pred`` is a batch probe of the whole (remaining) stream against
+    the *current* tags, ``ssorted`` its set values grouped by set with the
+    within-set stream order preserved.  Within one set only fills change
+    tags, and the first fill happens at the first actual miss — so by
+    induction the predictions are exact for every access up to **and
+    including** each set's first predicted miss.  Returns ``(clean,
+    first_miss)`` boolean masks in the sorted coordinates: ``clean`` marks
+    the provably-exact prefix of every set (hits plus the first miss),
+    ``first_miss`` its miss; ``~clean`` is the residual left for the next
+    pass.
+    """
+    k = len(ssorted)
+    newgrp = np.empty(k, dtype=bool)
+    newgrp[0] = True
+    np.not_equal(ssorted[1:], ssorted[:-1], out=newgrp[1:])
+    gstarts = np.flatnonzero(newgrp)
+    seq = np.arange(k, dtype=np.int64)
+    # sorted-index of each group's first predicted miss (k = no miss)
+    gfirst = np.minimum.reduceat(np.where(hit_pred, k, seq), gstarts)
+    firsts = np.repeat(gfirst, np.diff(np.append(gstarts, k)))
+    return seq <= firsts, seq == firsts
+
+
+def _touch_ordered(cache, sets: np.ndarray, ways: np.ndarray) -> None:
+    """Apply a stream-ordered sequence of hit touches in bulk.
+
+    LRU admits a closed form (only each way's last touch position matters);
+    NRU/PLRU touch transitions are order-dependent within a set, so they
+    fall back to conflict-free rounds of ``touch_batch``.
+    """
+    tlb = getattr(cache, "touch_last_batch", None)
+    if tlb is not None:
+        tlb(sets, ways, len(sets))
+        return
+    nr, ro, bo = _rounds(sets)
+    for r in range(nr):
+        idx = ro[bo[r] : bo[r + 1]]
+        cache.touch_batch(sets[idx], ways[idx])
+
+
+def run_full_chunk(
+    hier,
+    core: int,
+    lines: np.ndarray,
+    writes: np.ndarray | None,
+    *,
+    force: bool = False,
+) -> CoreMemStats | None:
+    """Vectorized equivalent of ``CacheHierarchy._access_chunk_full``.
+
+    ``lines`` must be int64 and all three levels ``VecSetAssocCache``
+    instances.  Returns the chunk's (unscaled) stats, or ``None`` when the
+    caller should use the scalar walk instead (only without ``force``).
+    """
+    l1 = hier.l1[core]
+    l2 = hier.l2[core]
+    l3 = hier.l3
+
+    n = len(lines)
+    stats = CoreMemStats()
+    stats.mem_accesses = n
+    if n == 0:
+        return stats
+
+    m1, b1 = l1.set_mask, l1.tag_shift
+    s1 = lines & m1
+    t1 = lines >> b1
+    hit0, way0 = l1.probe_batch(s1, t1)
+    order1 = np.argsort(s1, kind="stable")
+    ss1 = s1[order1]
+    if not force:
+        # pass count ≈ the deepest per-set miss chain; bail out before
+        # mutating anything when the chunk would degenerate to per-access work
+        mp_pred = s1[~hit0]
+        if len(mp_pred):
+            passes = int(np.bincount(mp_pred).max())
+            if _too_many_rounds(n, passes):
+                return None
+
+    l1.snapshot()
+    l2.snapshot()
+    #: line -> last position it was evicted from this core's L1/L2 during the
+    #: chunk; with the current tag lists this bounds where a back-invalidated
+    #: victim may still have been privately resident
+    evicted: dict[int, int] = {}
+    #: per-set position of the last L1/L2 fill in the chunk (fills are the
+    #: only tag mutations, so they bound how far a set's state can be
+    #: extrapolated backwards)
+    lastfill1 = np.full(l1.num_sets, -1, dtype=np.int64)
+    lastfill2 = np.full(l2.num_sets, -1, dtype=np.int64)
+
+    # ---- stage 1: L1 — iterated clean-prefix / first-miss passes -------------
+    # Each pass probes what's left, bulk-processes every set's provably-exact
+    # prefix (hits + the first miss, one fill per distinct set ⇒ conflict
+    # free), then re-probes the residual against the now-updated tags.  The
+    # same induction applies pass by pass, so the loop runs max-misses-per-set
+    # passes instead of max-accesses-per-set rounds.
+    miss_pos_parts: list[np.ndarray] = []
+    inst_pos_parts: list[np.ndarray] = []
+    inst_line_parts: list[np.ndarray] = []
+    lv_pos, lv_tag = -1, None
+    hits1 = 0
+
+    sub = order1
+    ss = ss1
+    hit = hit0[order1]
+    way = way0[order1]
+    while True:
+        clean, fm = _split_sorted(ss, hit)
+        chm = clean & hit
+        ch_idx = sub[chm]
+        fm_idx = sub[fm]
+        nh = len(ch_idx)
+        nm = len(fm_idx)
+        l1.acc_count += nh + nm
+        l1.hit_count += nh
+        l1.miss_count += nm
+        hits1 += nh
+        if nh:
+            cs = ss[chm]
+            cw = way[chm]
+            if writes is not None:
+                wmask = writes[ch_idx]
+                if wmask.any():
+                    np.bitwise_or.at(l1._dirty, cs[wmask], np.int64(1) << cw[wmask])
+            _touch_ordered(l1, cs, cw)
+        if nm:
+            fs = ss[fm]
+            codes, vtags = l1.fill_batch(
+                fs, t1[fm_idx], None if writes is None else writes[fm_idx]
+            )
+            np.maximum.at(lastfill1, fs, fm_idx)
+            miss_pos_parts.append(fm_idx)
+            ev = codes >= MISS_CLEAN
+            if ev.any():
+                vlines = (vtags[ev] << b1) | fs[ev]
+                pos = fm_idx[ev]
+                for vl, q in zip(vlines.tolist(), pos.tolist()):
+                    if q > evicted.get(vl, -1):
+                        evicted[vl] = q
+                j = int(pos.argmax())
+                if int(pos[j]) > lv_pos:
+                    lv_pos, lv_tag = int(pos[j]), int(vtags[ev][j])
+                dirty = codes[ev] == MISS_DIRTY
+                if dirty.any():
+                    inst_pos_parts.append(pos[dirty])
+                    inst_line_parts.append(vlines[dirty])
+        if clean.all():
+            break
+        # the residual keeps the sorted-by-set, stream-ordered-within-set
+        # invariant, so the next pass works on the boolean-sliced remainder
+        resid = ~clean
+        sub = sub[resid]
+        if len(sub) <= _SCALAR_TAIL:
+            # scalar tail: L1 sets are independent, so the per-set stream
+            # order that ``sub`` preserves is the only order that matters
+            l1_code = l1._access_code
+            tail_miss: list[int] = []
+            tail_ipos: list[int] = []
+            tail_iline: list[int] = []
+            for i in sub.tolist():
+                s = int(s1[i])
+                c1 = l1_code(
+                    s, int(t1[i]), False if writes is None else bool(writes[i])
+                )
+                if c1 == 0:
+                    hits1 += 1
+                    continue
+                tail_miss.append(i)
+                if lastfill1[s] < i:
+                    lastfill1[s] = i
+                if c1 >= MISS_CLEAN:
+                    vtag = l1.victim_tag
+                    vl = (vtag << b1) | s
+                    if i > evicted.get(vl, -1):
+                        evicted[vl] = i
+                    if i > lv_pos:
+                        lv_pos, lv_tag = i, vtag
+                    if c1 == MISS_DIRTY:
+                        tail_ipos.append(i)
+                        tail_iline.append(vl)
+            if tail_miss:
+                miss_pos_parts.append(np.asarray(tail_miss, dtype=np.int64))
+            if tail_ipos:
+                inst_pos_parts.append(np.asarray(tail_ipos, dtype=np.int64))
+                inst_line_parts.append(np.asarray(tail_iline, dtype=np.int64))
+            break
+        ss = ss[resid]
+        hit, way = l1.probe_batch(ss, t1[sub])
+    if lv_pos >= 0:
+        l1.victim_tag = lv_tag
+    stats.l1_hits = hits1
+
+    # ---- stage 2: L2 over the merged install+demand stream -------------------
+    empty = np.empty(0, dtype=np.int64)
+    mp = np.concatenate(miss_pos_parts) if miss_pos_parts else empty
+    ml = lines[mp]
+    ip = np.concatenate(inst_pos_parts) if inst_pos_parts else empty
+    il = np.concatenate(inst_line_parts) if inst_line_parts else empty
+    ev_pos = np.concatenate([ip, mp])
+    ev_line = np.concatenate([il, ml])
+    ev_inst = np.zeros(len(ev_pos), dtype=bool)
+    ev_inst[: len(ip)] = True
+    # the scalar walk installs a position's dirty L1 victim *before* its L2
+    # demand access: order by position with installs first on ties
+    sorder = np.argsort((ev_pos << 1) | ~ev_inst, kind="stable")
+    ev_pos = ev_pos[sorder]
+    ev_line = ev_line[sorder]
+    ev_inst = ev_inst[sorder]
+
+    m2, b2 = l2.set_mask, l2.tag_shift
+    s2 = ev_line & m2
+    t2 = ev_line >> b2
+    hits2 = 0
+    dm_pos_parts: list[np.ndarray] = []
+    dm_line_parts: list[np.ndarray] = []
+    wb_pos_parts: list[np.ndarray] = []
+    wb_line_parts: list[np.ndarray] = []
+    wb_inst_parts: list[np.ndarray] = []
+    lv_pos, lv_tag = -1, None
+    order2 = ss2 = empty
+    if len(ev_line):
+        order2 = np.argsort(s2, kind="stable")
+        ss2 = s2[order2]
+        sub = order2
+        ss = ss2
+        hit, way = l2.probe_batch(ss, t2[sub])
+        while True:
+            clean, fm = _split_sorted(ss, hit)
+            chm = clean & hit
+            ch_idx = sub[chm]
+            fm_idx = sub[fm]
+            if len(ch_idx):
+                rinst = ev_inst[ch_idx]
+                ndh = int((~rinst).sum())
+                l2.acc_count += ndh
+                l2.hit_count += ndh
+                hits2 += ndh
+                if ndh != len(ch_idx):
+                    # install onto a resident line: just mark it dirty
+                    np.bitwise_or.at(
+                        l2._dirty, ss[chm][rinst], np.int64(1) << way[chm][rinst]
+                    )
+                _touch_ordered(l2, ss[chm], way[chm])
+            if len(fm_idx):
+                fs = ss[fm]
+                finst = ev_inst[fm_idx]
+                ndm = int((~finst).sum())
+                l2.acc_count += ndm
+                l2.miss_count += ndm
+                codes, vtags = l2.fill_batch(fs, t2[fm_idx], finst)
+                np.maximum.at(lastfill2, fs, ev_pos[fm_idx])
+                ev = codes >= MISS_CLEAN
+                if ev.any():
+                    vlines = (vtags[ev] << b2) | fs[ev]
+                    pos = ev_pos[fm_idx[ev]]
+                    for vl, q in zip(vlines.tolist(), pos.tolist()):
+                        if q > evicted.get(vl, -1):
+                            evicted[vl] = q
+                    j = int(pos.argmax())
+                    if int(pos[j]) > lv_pos:
+                        lv_pos, lv_tag = int(pos[j]), int(vtags[ev][j])
+                    dirty = codes[ev] == MISS_DIRTY
+                    if dirty.any():
+                        wb_pos_parts.append(pos[dirty])
+                        wb_line_parts.append(vlines[dirty])
+                        wb_inst_parts.append(finst[ev][dirty])
+                dmm = ~finst
+                if dmm.any():
+                    dmx = fm_idx[dmm]
+                    dm_pos_parts.append(ev_pos[dmx])
+                    dm_line_parts.append(ev_line[dmx])
+            if clean.all():
+                break
+            resid = ~clean
+            sub = sub[resid]
+            if len(sub) <= _SCALAR_TAIL:
+                l2_code = l2._access_code
+                l2_install = l2._fill_code
+                tail_wpos: list[int] = []
+                tail_wline: list[int] = []
+                tail_winst: list[bool] = []
+                tail_dpos: list[int] = []
+                tail_dline: list[int] = []
+                for j in sub.tolist():
+                    s = int(s2[j])
+                    inst = bool(ev_inst[j])
+                    if inst:
+                        c2 = l2_install(s, int(t2[j]), True)
+                        if c2 == 0:
+                            continue
+                    else:
+                        c2 = l2_code(s, int(t2[j]), False)
+                        if c2 == 0:
+                            hits2 += 1
+                            continue
+                    p = int(ev_pos[j])
+                    if lastfill2[s] < p:
+                        lastfill2[s] = p
+                    if c2 >= MISS_CLEAN:
+                        vtag = l2.victim_tag
+                        vl = (vtag << b2) | s
+                        if p > evicted.get(vl, -1):
+                            evicted[vl] = p
+                        if p > lv_pos:
+                            lv_pos, lv_tag = p, vtag
+                        if c2 == MISS_DIRTY:
+                            tail_wpos.append(p)
+                            tail_wline.append(vl)
+                            tail_winst.append(inst)
+                    if not inst:
+                        tail_dpos.append(p)
+                        tail_dline.append(int(ev_line[j]))
+                if tail_wpos:
+                    wb_pos_parts.append(np.asarray(tail_wpos, dtype=np.int64))
+                    wb_line_parts.append(np.asarray(tail_wline, dtype=np.int64))
+                    wb_inst_parts.append(np.asarray(tail_winst, dtype=bool))
+                if tail_dpos:
+                    dm_pos_parts.append(np.asarray(tail_dpos, dtype=np.int64))
+                    dm_line_parts.append(np.asarray(tail_dline, dtype=np.int64))
+                break
+            ss = ss[resid]
+            hit, way = l2.probe_batch(ss, t2[sub])
+    if lv_pos >= 0:
+        l2.victim_tag = lv_tag
+    stats.l2_hits = hits2
+
+    # ---- stage 3: L3 in order (writebacks, demand, prefetch) -----------------
+    dmp = np.concatenate(dm_pos_parts) if dm_pos_parts else empty
+    dml = np.concatenate(dm_line_parts) if dm_line_parts else empty
+    wbp = np.concatenate(wb_pos_parts) if wb_pos_parts else empty
+    wbl = np.concatenate(wb_line_parts) if wb_line_parts else empty
+    wbi = (
+        np.concatenate(wb_inst_parts)
+        if wb_inst_parts
+        else np.empty(0, dtype=bool)
+    )
+    e_pos = np.concatenate([wbp, dmp])
+    e_line = np.concatenate([wbl, dml])
+    # per position the scalar walk orders: install's L2-victim writeback,
+    # demand fill's L2-victim writeback, the demand L3 access (then prefetch)
+    e_prio = np.concatenate(
+        [np.where(wbi, 0, 1), np.full(len(dmp), 2, dtype=np.int64)]
+    )
+    eorder = np.argsort(e_pos * 4 + e_prio, kind="stable")
+    events = list(
+        zip(e_pos[eorder].tolist(), e_prio[eorder].tolist(), e_line[eorder].tolist())
+    )
+
+    m3, b3 = l3.set_mask, l3.tag_shift
+    l3_code = l3._access_code
+    l3_fill = l3._fill_code
+    l3_probe = l3.probe
+    pf = hier.prefetchers[core]
+    pf_observe = pf.observe if pf is not None else None
+    owner = hier._owner
+    smask = hier._sample_mask
+    priv_data = hier._private_data
+    priv_filled = hier._priv_filled
+    l1_tags = l1._tags
+    l2_tags = l2._tags
+    writeback_to_l3 = hier._writeback_to_l3
+
+    l3_hits = 0
+    l3_misses = 0
+    l3_fetches = 0
+    pf_fills = 0
+    wb_lines = 0
+
+    l1_nru = hasattr(l1, "accessed_bits")
+    l2_nru = hasattr(l2, "accessed_bits")
+    #: (event position, line) of every back-invalidation applied directly to
+    #: this core's end-of-stage state — replayed in true order on rollback
+    self_inv: list[tuple[int, int]] = []
+
+    def classify(vline: int, p: int, in_l1: bool, in_l2: bool) -> int:
+        """Decide how a back-invalidation of ``vline`` at position ``p``
+        relates to the already-pipelined private state.
+
+        Returns 0 when the true invalidation is provably a no-op (the line
+        left L1/L2 at or before ``p`` and is never touched again), 1 when
+        applying it to the end-of-stage state verbatim is provably identical
+        to applying it at ``p`` (the line and its sets are quiescent after
+        ``p``), and 2 when neither holds — a rollback.  "Quiescent" means no
+        access to the line itself and no fill in its L1/L2 sets after ``p``
+        (fills are the only operations that read occupancy/replacement state
+        the victim participates in); NRU private levels additionally treat
+        any later access in the set as disqualifying, because their
+        saturating touch reads every way's accessed bit.
+        """
+        s = int(vline & m1)
+        lo = int(np.searchsorted(ss1, s, "left"))
+        hi = int(np.searchsorted(ss1, s, "right"))
+        sl = order1[lo:hi]
+        later = sl > p
+        set1_hot = False
+        if later.any():
+            if (later & (lines[sl] == vline)).any():
+                return 2
+            set1_hot = l1_nru or lastfill1[s] > p
+        set2_hot = False
+        if len(ss2):
+            s = int(vline & m2)
+            lo = int(np.searchsorted(ss2, s, "left"))
+            hi = int(np.searchsorted(ss2, s, "right"))
+            sl = order2[lo:hi]
+            later = ev_pos[sl] > p
+            if later.any():
+                if (later & (ev_line[sl] == vline)).any():
+                    return 2
+                set2_hot = l2_nru or lastfill2[s] > p
+        if not in_l1 and not in_l2:
+            return 0 if evicted.get(vline, -1) <= p else 2
+        if set1_hot or set2_hot:
+            return 2
+        return 1
+
+    def back_inv(vline: int, l3_dirty: bool, p: int) -> int | None:
+        """Back-invalidate an L3 victim; ``None`` requests a rollback.
+
+        Mirrors ``CacheHierarchy._back_invalidate``, except for this core's
+        private caches, which hold end-of-stage (not position-``p``) state:
+        a victim they may be holding goes through :func:`classify`, and only
+        the genuinely order-sensitive case rolls back.
+        """
+        dirty = l3_dirty
+        oc = owner.pop(vline, -1)
+        if priv_data and 0 <= oc != core:
+            if not priv_filled[oc]:
+                return 1 if dirty else 0
+            c1 = hier.l1[oc]
+            present, was_dirty = c1.invalidate(vline & c1.set_mask, vline >> c1.tag_shift)
+            if present and was_dirty:
+                dirty = True
+            c2 = hier.l2[oc]
+            present, was_dirty = c2.invalidate(vline & c2.set_mask, vline >> c2.tag_shift)
+            if present and was_dirty:
+                dirty = True
+            return 1 if dirty else 0
+        # this core is involved (own line, or untracked owner ⇒ scan-all)
+        in_l1 = (vline >> b1) in l1_tags[vline & m1]
+        in_l2 = (vline >> b2) in l2_tags[vline & m2]
+        if in_l1 or in_l2 or vline in evicted:
+            verdict = classify(vline, p, in_l1, in_l2)
+            if verdict == 2:
+                return None
+            if verdict == 1:
+                present, was_dirty = l1.invalidate(vline & m1, vline >> b1)
+                if present and was_dirty:
+                    dirty = True
+                present, was_dirty = l2.invalidate(vline & m2, vline >> b2)
+                if present and was_dirty:
+                    dirty = True
+                self_inv.append((p, vline))
+        if priv_data and oc == core:
+            return 1 if dirty else 0
+        for i in range(len(hier.l1)):
+            if i == core or not priv_filled[i]:
+                continue
+            c1 = hier.l1[i]
+            present, was_dirty = c1.invalidate(vline & c1.set_mask, vline >> c1.tag_shift)
+            if present and was_dirty:
+                dirty = True
+            c2 = hier.l2[i]
+            present, was_dirty = c2.invalidate(vline & c2.set_mask, vline >> c2.tag_shift)
+            if present and was_dirty:
+                dirty = True
+        return 1 if dirty else 0
+
+    for pos, prio, line in events:
+        if prio < 2:
+            wb_lines += writeback_to_l3(line)
+            continue
+        rollback = None
+        if not (smask and line & smask):
+            sx = line & m3
+            c3 = l3_code(sx, line >> b3, False)
+            if c3 == 0:
+                l3_hits += 1
+            else:
+                l3_misses += 1
+                l3_fetches += 1
+                owner[line] = core
+                if c3 >= 2:
+                    vline = l3.join(sx, l3.victim_tag)
+                    wb = back_inv(vline, c3 == 3, pos)
+                    if wb is None:
+                        rollback = (vline, c3 == 3, None, line, self_inv)
+                    else:
+                        wb_lines += wb
+        if rollback is None and pf_observe is not None:
+            burst = pf_observe(line)
+            for j, pline in enumerate(burst):
+                if smask and pline & smask:
+                    continue
+                ps = pline & m3
+                pt = pline >> b3
+                if l3_probe(ps, pt) < 0:
+                    pc = l3_fill(ps, pt, False)
+                    l3_fetches += 1
+                    pf_fills += 1
+                    owner[pline] = core
+                    if pc >= 2:
+                        vline = l3.join(ps, l3.victim_tag)
+                        wb = back_inv(vline, pc == 3, pos)
+                        if wb is None:
+                            rollback = (vline, pc == 3, burst[j + 1 :], None, self_inv)
+                            break
+                        wb_lines += wb
+        if rollback is not None:
+            stats.l3_hits = l3_hits
+            stats.l3_misses = l3_misses
+            stats.l3_fetches = l3_fetches
+            stats.prefetch_fills = pf_fills
+            stats.dram_writeback_lines = wb_lines
+            return _rollback_finish(hier, core, lines, writes, stats, pos, rollback)
+
+    stats.l3_hits = l3_hits
+    stats.l3_misses = l3_misses
+    stats.l3_fetches = l3_fetches
+    stats.prefetch_fills = pf_fills
+    stats.dram_writeback_lines = wb_lines
+    return stats
+
+
+def _rollback_finish(
+    hier,
+    core: int,
+    lines: np.ndarray,
+    writes: np.ndarray | None,
+    stats: CoreMemStats,
+    p: int,
+    ctx: tuple,
+) -> CoreMemStats:
+    """Rewind the private levels and finish the chunk on the scalar walk.
+
+    Everything through event position ``p``'s aborting L3 fill is already
+    exact (counted in ``stats`` and applied to the L3); only this core's
+    L1/L2 hold optimistically advanced state.  Restore them, replay
+    positions ``0..p`` through L1/L2 alone (their L3 side effects are
+    done), apply the pending back-invalidation against the now-true private
+    state, finish position ``p``'s remaining prefetch fills, and hand the
+    rest of the chunk to the scalar walk.
+    """
+    hier._rolled_back = True
+    vline, vdirty, rest_plines, pending_observe, self_inv = ctx
+    l1 = hier.l1[core]
+    l2 = hier.l2[core]
+    l1.restore()
+    l2.restore()
+
+    m1, b1 = l1.set_mask, l1.tag_shift
+    m2, b2 = l2.set_mask, l2.tag_shift
+    lines_l = lines.tolist()
+    writes_l = None if writes is None else writes.tolist()
+    l1_code = l1._access_code
+    l2_code = l2._access_code
+    l2_install = l2._fill_code
+
+    si = 0
+    nsi = len(self_inv)
+    l1_hits = 0
+    l2_hits = 0
+    for i in range(p + 1):
+        line = lines_l[i]
+        c1 = l1_code(line & m1, line >> b1, False if writes_l is None else writes_l[i])
+        if c1 == 0:
+            l1_hits += 1
+        else:
+            if c1 == 3:
+                # dirty L1 victim installs into L2; its own dirty victim's L3
+                # writeback already ran in stage 3
+                vl = l1.join(line & m1, l1.victim_tag)
+                l2_install(vl & m2, vl >> b2, True)
+            if l2_code(line & m2, line >> b2, False) == 0:
+                l2_hits += 1
+        # re-apply the back-invalidations that stage 3 resolved without a
+        # rollback, at their true positions (after the position's L1/L2
+        # access, before the next access); their counters rewound with the
+        # snapshot, their writeback lines are already in ``stats``
+        while si < nsi and self_inv[si][0] == i:
+            v = self_inv[si][1]
+            l1.invalidate(v & m1, v >> b1)
+            l2.invalidate(v & m2, v >> b2)
+            si += 1
+    stats.l1_hits = l1_hits
+    stats.l2_hits = l2_hits
+
+    stats.dram_writeback_lines += hier._back_invalidate(vline, vdirty)
+
+    pf = hier.prefetchers[core]
+    if pending_observe is not None and pf is not None:
+        rest_plines = pf.observe(pending_observe)
+    if rest_plines:
+        l3 = hier.l3
+        m3, b3 = l3.set_mask, l3.tag_shift
+        smask = hier._sample_mask
+        for pline in rest_plines:
+            if smask and pline & smask:
+                continue
+            ps = pline & m3
+            pt = pline >> b3
+            if l3.probe(ps, pt) < 0:
+                pc = l3._fill_code(ps, pt, False)
+                stats.l3_fetches += 1
+                stats.prefetch_fills += 1
+                hier._owner[pline] = core
+                if pc >= 2:
+                    stats.dram_writeback_lines += hier._back_invalidate(
+                        l3.join(ps, l3.victim_tag), pc == 3
+                    )
+
+    if p + 1 < len(lines_l):
+        rest = hier._access_chunk_full(
+            core, lines_l[p + 1 :], None if writes_l is None else writes_l[p + 1 :]
+        )
+        stats.add(rest)
+        stats.mem_accesses = len(lines_l)
+    return stats

@@ -1,0 +1,336 @@
+"""Equivalence and property tests for the vectorized simulation kernels.
+
+The contract under test is absolute: every kernel mode (``scalar``,
+``vector``, ``auto``) produces **bit-identical** per-chunk stats, cumulative
+totals, and cache state — tags, dirty bits, replacement metadata, victim
+side channel, owner map — on any access stream.  The streams here mix the
+kernels' best and worst cases: random, sequential, single-set aliasing
+(adversarial for round decomposition), tight L1-hit reuse, and Pirate-style
+bypass sweeps that trigger inclusive-L3 back-invalidations and the
+pipelined kernel's rollback path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.config import CacheConfig, nehalem_config, tiny_config
+from repro.errors import ConfigError
+from repro.kernels import make_vec_cache
+from repro.kernels.veccache import VecLRUCache, VecNRUCache, VecPLRUCache
+from repro.units import KB
+
+MODES = ("scalar", "vector", "auto")
+
+
+# -- state comparison ---------------------------------------------------------
+
+
+def cache_state(c) -> dict:
+    st = {
+        "tags": [list(t) for t in c._tags],
+        "dirty": [int(d) for d in c._dirty],
+        "nvalid": [int(v) for v in c._nvalid],
+        "victim": None if c.victim_tag is None else int(c.victim_tag),
+        "counters": (
+            c.acc_count, c.hit_count, c.miss_count, c.evict_count,
+            c.wb_count, c.fill_count, c.inval_count,
+        ),
+    }
+    if hasattr(c, "recency_order"):
+        st["recency"] = [c.recency_order(s) for s in range(c.num_sets)]
+    if hasattr(c, "accessed_bits"):
+        st["nru_bits"] = [c.accessed_bits(s) for s in range(c.num_sets)]
+    if hasattr(c, "_tree"):
+        st["plru_tree"] = [int(x) for x in c._tree]
+    return st
+
+
+def assert_hierarchies_equal(tag: str, ha: CacheHierarchy, hb: CacheHierarchy):
+    for level in ("l1", "l2"):
+        for i, (a, b) in enumerate(zip(getattr(ha, level), getattr(hb, level))):
+            assert cache_state(a) == cache_state(b), f"{tag}: {level}[{i}] differs"
+    assert cache_state(ha.l3) == cache_state(hb.l3), f"{tag}: l3 differs"
+    assert ha._owner == hb._owner, f"{tag}: owner maps differ"
+    for i, (a, b) in enumerate(zip(ha.totals, hb.totals)):
+        assert vars(a) == vars(b), f"{tag}: totals[{i}] differ"
+
+
+def run_streams(
+    cfg_fn,
+    tag: str,
+    steps: int = 48,
+    footprint: int = 50_000,
+    pirate_ws: int = 3_000,
+    seed: int = 0,
+    chunk_sizes=(1, 7, 64, 300, 800),
+):
+    """Drive all three engine modes through one mixed stream, comparing
+    per-chunk stats every chunk and full cache state periodically."""
+    rng = np.random.default_rng(seed)
+    hs = {m: CacheHierarchy(cfg_fn(m)) for m in MODES}
+    sweep_pos = 0
+    for step in range(steps):
+        n = int(rng.choice(chunk_sizes))
+        kind = step % 4
+        if kind == 0:  # random
+            lines = rng.integers(0, footprint, n)
+        elif kind == 1:  # sequential
+            start = int(rng.integers(0, footprint))
+            lines = np.arange(start, start + n, dtype=np.int64)
+        elif kind == 2:  # single-set aliasing on the L3
+            nsets = hs["scalar"].l3.num_sets
+            lines = (rng.integers(0, 64, n) * nsets) + int(rng.integers(0, nsets))
+        else:  # tight reuse, L1-hit heavy
+            lines = rng.integers(0, 64, n)
+        lines = lines.astype(np.int64)
+        writes = rng.random(n) < 0.3 if rng.random() < 0.6 else None
+        per_mode = {}
+        for m, h in hs.items():
+            st = h.access_chunk(
+                0, lines.copy(), None if writes is None else writes.copy()
+            )
+            per_mode[m] = vars(st).copy()
+        assert per_mode["scalar"] == per_mode["vector"] == per_mode["auto"], (
+            f"{tag} step {step}: chunk stats diverge: {per_mode}"
+        )
+        # Pirate-style bypass chunk on core 1 (linear sweep)
+        pn = int(rng.choice((30, 500, 2500)))
+        plines = (
+            np.arange(sweep_pos, sweep_pos + pn, dtype=np.int64) % pirate_ws
+        ) + (1 << 22)
+        sweep_pos += pn
+        per_mode = {}
+        for m, h in hs.items():
+            st = h.access_chunk(1, plines.copy(), None, bypass_private=True)
+            per_mode[m] = vars(st).copy()
+        assert per_mode["scalar"] == per_mode["vector"] == per_mode["auto"], (
+            f"{tag} pirate step {step}: chunk stats diverge: {per_mode}"
+        )
+        if step % 16 == 15:
+            assert_hierarchies_equal(f"{tag} step {step}", hs["scalar"], hs["vector"])
+            assert_hierarchies_equal(f"{tag} step {step}", hs["scalar"], hs["auto"])
+    assert_hierarchies_equal(f"{tag} final", hs["scalar"], hs["vector"])
+    assert_hierarchies_equal(f"{tag} final", hs["scalar"], hs["auto"])
+
+
+# -- hierarchy-level equivalence ---------------------------------------------
+
+
+def test_nehalem_equivalence_with_prefetch():
+    run_streams(lambda m: nehalem_config(kernel=m), "nehalem+pf")
+
+
+def test_nehalem_equivalence_no_prefetch():
+    run_streams(
+        lambda m: nehalem_config(prefetch_enabled=False, kernel=m), "nehalem-nopf"
+    )
+
+
+def test_all_lru_equivalence():
+    run_streams(
+        lambda m: replace(
+            nehalem_config(kernel=m),
+            l1=CacheConfig("L1", 32 * KB, 8, policy="lru"),
+            l2=CacheConfig("L2", 256 * KB, 8, policy="lru"),
+            l3=CacheConfig(
+                "L3", 8192 * KB, 16, policy="lru", inclusive=True, shared=True
+            ),
+        ),
+        "all-lru",
+        steps=32,
+    )
+
+
+def test_nru_private_equivalence():
+    run_streams(
+        lambda m: replace(
+            nehalem_config(kernel=m),
+            l1=CacheConfig("L1", 32 * KB, 8, policy="nru"),
+            l2=CacheConfig("L2", 256 * KB, 8, policy="nru"),
+        ),
+        "nru-private",
+        steps=32,
+    )
+
+
+def test_random_l3_falls_back_to_scalar():
+    # random replacement is uncovered: vector/auto must silently keep the
+    # scalar cache for that level and still agree with pure scalar
+    run_streams(
+        lambda m: replace(
+            nehalem_config(kernel=m),
+            l3=CacheConfig(
+                "L3", 8192 * KB, 16, policy="random", inclusive=True, shared=True
+            ),
+        ),
+        "random-l3",
+        steps=24,
+    )
+
+
+def test_tiny_rollback_pressure():
+    # a small inclusive L3 forces frequent back-invalidations into lines the
+    # pipelined kernel has already simulated past — the rollback path
+    run_streams(
+        lambda m: tiny_config(kernel=m, prefetch_enabled=True),
+        "tiny-pf",
+        footprint=600,
+        pirate_ws=100,
+        chunk_sizes=(1, 5, 64, 200),
+    )
+    run_streams(
+        lambda m: tiny_config(kernel=m, l3_size=4 * KB, policy="nru"),
+        "tiny-nru",
+        footprint=200,
+        pirate_ws=60,
+        chunk_sizes=(64, 200, 500),
+    )
+
+
+def test_sampled_equivalence_across_modes():
+    # sampling changes the numbers, but all engine modes must agree on the
+    # sampled numbers bit-for-bit too
+    run_streams(
+        lambda m: nehalem_config(kernel=m, sample_sets=8), "sampled-x8", steps=32
+    )
+    run_streams(
+        lambda m: tiny_config(kernel=m, sample_sets=4, prefetch_enabled=True),
+        "tiny-sampled-x4",
+        footprint=600,
+        pirate_ws=100,
+        steps=32,
+    )
+
+
+def test_sample_sets_validation():
+    with pytest.raises(ConfigError):
+        nehalem_config(sample_sets=3)
+    with pytest.raises(ConfigError):
+        nehalem_config(sample_sets=-2)
+    with pytest.raises(ConfigError):
+        tiny_config(sample_sets=1 << 20)
+    with pytest.raises(ConfigError):
+        replace(nehalem_config(), kernel="simd")
+
+
+# -- cache-level properties ---------------------------------------------------
+
+
+def _scalar_twin(vec):
+    """A scalar cache of the same geometry/policy as a vectorized one."""
+    from repro.caches.setassoc import make_cache
+
+    return make_cache(vec.config, seed=0)
+
+
+@pytest.mark.parametrize("policy", ["lru", "nru", "plru"])
+@pytest.mark.parametrize("ways", [2, 4, 8])
+def test_scalar_ops_match_plain_cache(policy, ways):
+    """The Vec* caches' inherited scalar protocol is the plain protocol."""
+    cfg = CacheConfig("T", 64 * ways * 16, ways, policy=policy)
+    vec = make_vec_cache(cfg)
+    ref = _scalar_twin(vec)
+    rng = np.random.default_rng(7)
+    for _ in range(600):
+        s = int(rng.integers(0, vec.num_sets))
+        t = int(rng.integers(0, 40))
+        w = bool(rng.random() < 0.3)
+        assert vec._access_code(s, t, w) == ref._access_code(s, t, w)
+        assert vec.victim_tag == ref.victim_tag
+    assert cache_state(vec)["counters"] == cache_state(ref)["counters"]
+    assert [list(x) for x in vec._tags] == [list(x) for x in ref._tags]
+
+
+@pytest.mark.parametrize("ways", [2, 4, 8, 16])
+def test_plru_touch_last_batch_closed_form(ways):
+    """touch_last_batch == replaying the touches one by one, any stream."""
+    cfg = CacheConfig("T", 64 * ways * 8, ways, policy="plru")
+    rng = np.random.default_rng(13)
+    for trial in range(20):
+        a = make_vec_cache(cfg)
+        b = make_vec_cache(cfg)
+        # randomize starting tree state via scalar touches
+        for _ in range(30):
+            s = int(rng.integers(0, a.num_sets))
+            w = int(rng.integers(0, ways))
+            a._touch(s, w)
+            b._touch(s, w)
+        k = int(rng.integers(1, 200))
+        sets = rng.integers(0, a.num_sets, k).astype(np.int64)
+        wys = rng.integers(0, ways, k).astype(np.int64)
+        a.touch_last_batch(sets, wys, k)
+        for s, w in zip(sets.tolist(), wys.tolist()):
+            b._touch(s, w)
+        assert np.array_equal(a._tree, b._tree), f"trial {trial}"
+
+
+def test_lru_touch_last_batch_is_last_touch_order():
+    cfg = CacheConfig("T", 64 * 8 * 8, 8, policy="lru")
+    rng = np.random.default_rng(5)
+    a = make_vec_cache(cfg)
+    b = make_vec_cache(cfg)
+    k = 500
+    sets = rng.integers(0, a.num_sets, k).astype(np.int64)
+    wys = rng.integers(0, 8, k).astype(np.int64)
+    a.touch_last_batch(sets, wys, k)
+    for s, w in zip(sets.tolist(), wys.tolist()):
+        b._touch(s, w)
+    for s in range(a.num_sets):
+        assert a.recency_order(s) == b.recency_order(s)
+
+
+def test_probe_batch_matches_scalar_probe():
+    cfg = CacheConfig("T", 64 * 4 * 16, 4, policy="lru")
+    vec = make_vec_cache(cfg)
+    rng = np.random.default_rng(3)
+    for _ in range(300):
+        vec._access_code(int(rng.integers(0, vec.num_sets)), int(rng.integers(0, 8)), False)
+    sets = rng.integers(0, vec.num_sets, 200).astype(np.int64)
+    tags = rng.integers(0, 8, 200).astype(np.int64)
+    hit, way = vec.probe_batch(sets, tags)
+    for i in range(200):
+        w = vec.probe(int(sets[i]), int(tags[i]))
+        if w < 0:
+            assert not hit[i]
+        else:
+            assert hit[i] and way[i] == w
+
+
+def test_make_vec_cache_coverage():
+    assert isinstance(
+        make_vec_cache(CacheConfig("T", 8 * KB, 4, policy="lru")), VecLRUCache
+    )
+    assert isinstance(
+        make_vec_cache(CacheConfig("T", 8 * KB, 4, policy="nru")), VecNRUCache
+    )
+    assert isinstance(
+        make_vec_cache(CacheConfig("T", 8 * KB, 4, policy="plru")), VecPLRUCache
+    )
+    assert make_vec_cache(CacheConfig("T", 8 * KB, 4, policy="random")) is None
+
+
+# -- goldens under --kernel vector -------------------------------------------
+
+
+def test_fixed_curve_golden_unchanged_under_vector_kernel(monkeypatch):
+    """The checked-in golden reproduces bit-for-bit with kernel=vector.
+
+    The golden was generated under the default engine; the forced-vector
+    run must serialize to the identical JSON tree (the CI perf-smoke job
+    runs the full ``regen_goldens.py --check`` under ``REPRO_KERNEL=vector``
+    — this is the in-suite sentinel for the same property).
+    """
+    monkeypatch.setenv("REPRO_KERNEL", "vector")
+    from tests.golden_scenarios import fixed_curve_scenario
+
+    golden = json.loads(
+        (Path(__file__).parent / "goldens" / "fixed_curve.json").read_text()
+    )
+    assert fixed_curve_scenario() == golden
