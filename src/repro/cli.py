@@ -14,6 +14,11 @@ The tool a user of the real Cache Pirate would have been handed:
   executor: ``--workers N`` fans points over a process pool, ``--cache-dir``
   makes re-runs skip completed points, ``--telemetry PATH`` leaves the run's
   full span/metric stream behind as JSONL (plus a ``.summary.json`` sibling),
+  ``--supervise``/``--point-timeout`` add watchdogs + crash recovery, and
+  ``--journal-dir`` + ``--resume RUN_ID`` continue a killed run from its
+  write-ahead journal,
+* ``cache verify|repair|gc DIR`` — audit a sweep result cache's entry
+  checksums, quarantine corruption, sweep up the debris,
 * ``stats PATH`` — render a telemetry JSONL stream as a run report,
 * ``validate`` — the conformance oracle: replay each benchmark through the
   pirated cache and the reference simulator and judge them against the
@@ -36,8 +41,12 @@ from .analysis.reuse import reuse_profile
 from .config import KERNEL_MODES, nehalem_config
 from .core import choose_pirate_threads, measure_curve_dynamic, measure_curve_fixed
 from .core.bandit import measure_bandwidth_curve
+from .core.journal import new_run_id
+from .core.parallel import SweepCache
 from .core.resilience import PartialCurve, RetryPolicy, measure_point_resilient
+from .core.supervisor import SupervisorPolicy
 from .errors import ConfigError
+from .faults.chaos import ChaosPlan
 from .observability import Telemetry, format_report, read_jsonl, summarize, write_jsonl
 from .tracing import capture_trace
 from .units import MB
@@ -113,6 +122,51 @@ def _engine_config(args, **kwargs):
         )
     except ConfigError as e:
         raise _CLIError(str(e)) from None
+
+
+def _parse_chaos(text: str, n_points: int) -> ChaosPlan:
+    """Compile a ``--chaos key=value,...`` spec into a concrete ChaosPlan.
+
+    Keys: ``seed`` (int), ``kill``/``hang``/``error`` (per-point fault
+    probabilities in [0, 1]), ``repeats`` (attempts each fault fires on),
+    ``hang-seconds`` (how long a hang sleeps).
+    """
+    known = {
+        "seed": int,
+        "kill": float,
+        "hang": float,
+        "error": float,
+        "repeats": int,
+        "hang-seconds": float,
+    }
+    values: dict[str, float] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, raw = part.partition("=")
+        key = key.strip()
+        if not sep or key not in known:
+            raise _CLIError(
+                f"--chaos: expected key=value with key in "
+                f"{'/'.join(sorted(known))}, got {part!r}"
+            )
+        try:
+            values[key] = known[key](raw.strip())
+        except ValueError:
+            raise _CLIError(f"--chaos: {key}={raw.strip()!r} is not a number") from None
+    try:
+        return ChaosPlan.random(
+            n_points,
+            seed=int(values.get("seed", 0)),
+            kill_rate=values.get("kill", 0.0),
+            hang_rate=values.get("hang", 0.0),
+            error_rate=values.get("error", 0.0),
+            repeats=int(values.get("repeats", 1)),
+            hang_seconds=values.get("hang-seconds", 30.0),
+        )
+    except ConfigError as e:
+        raise _CLIError(f"--chaos: {e}") from None
 
 
 def _resolve_workers(args) -> int | None:
@@ -272,19 +326,68 @@ def cmd_sweep(args, out=print) -> int:
         raise _CLIError(f"--intervals must be >= 1, got {args.intervals}")
     policy = RetryPolicy(max_attempts=args.retries + 1) if args.retries else None
     telemetry = Telemetry() if args.telemetry else None
-    curve = measure_curve_fixed(
-        _factory(args.benchmark, args.seed),
-        sizes,
-        benchmark=args.benchmark,
-        config=_engine_config(args),
-        interval_instructions=args.interval,
-        n_intervals=args.intervals,
-        seed=args.seed,
-        retry=policy,
-        workers=workers,
-        cache_dir=args.cache_dir or None,
-        telemetry=telemetry,
+
+    # -- supervision / durability flags ------------------------------------
+    if args.point_timeout is not None:
+        _require_positive(args.point_timeout, "--point-timeout")
+    if args.max_point_failures < 1:
+        raise _CLIError(
+            f"--max-point-failures must be >= 1, got {args.max_point_failures}"
+        )
+    journal_dir = args.journal_dir or None
+    run_id = args.run_id or None
+    resume = bool(args.resume)
+    if resume:
+        if journal_dir is None:
+            raise _CLIError("--resume needs --journal-dir (where the journal lives)")
+        if run_id is not None and run_id != args.resume:
+            raise _CLIError(
+                f"--resume {args.resume} conflicts with --run-id {run_id}; pick one"
+            )
+        run_id = args.resume
+    supervised = (
+        args.supervise
+        or args.point_timeout is not None
+        or journal_dir is not None
+        or resume
+        or bool(args.chaos)
     )
+    supervise = None
+    if supervised:
+        supervise = SupervisorPolicy(
+            point_timeout_s=args.point_timeout,
+            max_point_failures=args.max_point_failures,
+        )
+        if journal_dir is not None and run_id is None:
+            run_id = new_run_id()
+        if run_id is not None:
+            out(f"journal run id: {run_id}  (resume with --resume {run_id})")
+
+    chaos = _parse_chaos(args.chaos, len(sizes)) if args.chaos else None
+    if chaos is not None:
+        out(chaos.describe())
+        chaos.install_env()
+    try:
+        curve = measure_curve_fixed(
+            _factory(args.benchmark, args.seed),
+            sizes,
+            benchmark=args.benchmark,
+            config=_engine_config(args),
+            interval_instructions=args.interval,
+            n_intervals=args.intervals,
+            seed=args.seed,
+            retry=policy,
+            workers=workers,
+            cache_dir=args.cache_dir or None,
+            supervise=supervise,
+            journal_dir=journal_dir,
+            run_id=run_id,
+            resume=resume,
+            telemetry=telemetry,
+        )
+    finally:
+        if chaos is not None:
+            chaos.clear_env()
     out(curve.format_table())
     if isinstance(curve, PartialCurve):
         out(format_quality_report(curve))
@@ -294,6 +397,26 @@ def cmd_sweep(args, out=print) -> int:
             out(plot_performance_curve(curve, metric))
     if telemetry is not None:
         _export_telemetry(telemetry, args.telemetry, out)
+    return 0
+
+
+def cmd_cache(args, out=print) -> int:
+    root = Path(args.dir)
+    if not root.is_dir():
+        raise _CLIError(f"no such cache directory: {args.dir}")
+    cache = SweepCache(root)
+    if args.action == "verify":
+        audit = cache.verify()
+        out(audit.format())
+        return 0 if audit.clean else 1
+    if args.action == "repair":
+        audit = cache.repair()
+        out(audit.format())
+        out(f"quarantined {len(audit.corrupt)} corrupt entr"
+            f"{'y' if len(audit.corrupt) == 1 else 'ies'}")
+        return 0
+    removed = cache.gc()
+    out(f"removed {removed} file(s) (quarantined, temp, stale-version)")
     return 0
 
 
@@ -381,6 +504,12 @@ def cmd_experiments(args, out=print) -> int:
         argv += ["--cache-dir", args.cache_dir]
     if args.telemetry:
         argv += ["--telemetry", args.telemetry]
+    if args.journal_dir:
+        argv += ["--journal-dir", args.journal_dir]
+    if args.run_id:
+        argv += ["--run-id", args.run_id]
+    if args.resume:
+        argv += ["--resume", args.resume]
     return runall_main(argv)
 
 
@@ -463,8 +592,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--telemetry", default="",
                    help="write the run's span/metric stream to this JSONL file")
+    p.add_argument("--supervise", action="store_true",
+                   help="run under the supervisor: watchdogs, crash recovery, "
+                        "bounded retry with quarantine")
+    p.add_argument("--point-timeout", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget per point attempt (implies --supervise)")
+    p.add_argument("--max-point-failures", type=int, default=2, metavar="N",
+                   help="proven faults a point may accumulate before quarantine")
+    p.add_argument("--journal-dir", default="",
+                   help="write-ahead journal directory (implies --supervise); "
+                        "finished points survive SIGKILL")
+    p.add_argument("--run-id", default="",
+                   help="journal run id (default: a fresh one, echoed at start)")
+    p.add_argument("--resume", default="", metavar="RUN_ID",
+                   help="continue a journaled run: replay its finished points, "
+                        "execute only the remainder")
+    p.add_argument("--chaos", default="", metavar="KEY=VAL,...",
+                   help="inject process-level chaos (testing): "
+                        "seed=/kill=/hang=/error=/repeats=/hang-seconds=")
     _add_engine_args(p)
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "cache", help="inspect and maintain a sweep result cache directory"
+    )
+    p.add_argument("action", choices=("verify", "repair", "gc"),
+                   help="verify: checksum every entry (exit 1 on corruption); "
+                        "repair: quarantine corrupt entries; gc: delete "
+                        "quarantined/temp/stale files")
+    p.add_argument("dir", help="cache directory (--cache-dir of a sweep)")
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("stats", help="render a telemetry JSONL stream as a run report")
     p.add_argument("path", help="JSONL file written by --telemetry")
@@ -512,6 +669,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the run's span/metric stream to this JSONL file")
     p.add_argument("--kernel", choices=KERNEL_MODES, default=None,
                    help="simulation engine for every experiment")
+    p.add_argument("--journal-dir", default="",
+                   help="task journal directory: finished experiments survive SIGKILL")
+    p.add_argument("--run-id", default="",
+                   help="task journal run id (default: a fresh one, echoed at start)")
+    p.add_argument("--resume", default="", metavar="RUN_ID",
+                   help="continue a journaled run, skipping finished experiments")
     p.set_defaults(fn=cmd_experiments)
 
     return parser

@@ -27,7 +27,13 @@ paper describes it, on top of the simulated machine:
 * :mod:`repro.core.parallel` — the parallel sweep executor: independent
   ``(target, cache_size)`` points fanned out over a process pool with
   deterministic per-point seeds and an on-disk result cache, bit-identical
-  to serial execution for any worker count.
+  to serial execution for any worker count,
+* :mod:`repro.core.supervisor` — the supervision layer around that executor:
+  per-point watchdogs, ``BrokenProcessPool`` recovery, bounded retry with
+  explicit quarantine, proven under injected chaos,
+* :mod:`repro.core.journal` — append-only JSONL write-ahead run journals, so
+  ``--resume`` continues a SIGKILLed sweep without re-measuring finished
+  points.
 """
 
 from .curves import IntervalSample, PerformanceCurve
@@ -56,6 +62,7 @@ from .resilience import (
     measure_point_resilient,
 )
 from .parallel import (
+    CacheAudit,
     PointResult,
     SweepCache,
     SweepPoint,
@@ -65,7 +72,20 @@ from .parallel import (
     measure_sweep_point,
     parallel_map,
     point_cache_key,
+    result_from_payload,
+    result_to_payload,
     run_sweep,
+    sweep_spec_sha,
+)
+from .supervisor import SupervisorPolicy, quarantined_result, run_sweep_supervised
+from .journal import (
+    JournalState,
+    RunJournal,
+    TaskJournal,
+    TaskJournalState,
+    journal_path,
+    new_run_id,
+    read_journal_records,
 )
 
 __all__ = [
@@ -105,10 +125,24 @@ __all__ = [
     "SweepPoint",
     "SweepStats",
     "SweepCache",
+    "CacheAudit",
     "PointResult",
     "derive_point_seed",
     "point_cache_key",
     "measure_sweep_point",
+    "result_to_payload",
+    "result_from_payload",
+    "sweep_spec_sha",
     "run_sweep",
     "parallel_map",
+    "SupervisorPolicy",
+    "run_sweep_supervised",
+    "quarantined_result",
+    "RunJournal",
+    "JournalState",
+    "TaskJournal",
+    "TaskJournalState",
+    "journal_path",
+    "new_run_id",
+    "read_journal_records",
 ]

@@ -190,6 +190,10 @@ def measure_curve_fixed(
     fault_plan=None,
     workers: int = 0,
     cache_dir=None,
+    supervise=None,
+    journal_dir=None,
+    run_id: str | None = None,
+    resume: bool = False,
     telemetry=None,
 ) -> PerformanceCurve:
     """The expensive baseline: one fixed-size execution per cache size.
@@ -210,6 +214,15 @@ def measure_curve_fixed(
     every point through the retry engine and returns a
     :class:`~repro.core.resilience.PartialCurve` with per-point quality.
 
+    ``supervise`` routes the sweep through
+    :func:`~repro.core.supervisor.run_sweep_supervised` — worker watchdogs,
+    crash recovery, bounded retry with quarantine.  Pass ``True`` for the
+    default :class:`~repro.core.supervisor.SupervisorPolicy` or a policy
+    instance for custom budgets.  ``journal_dir`` (which implies
+    supervision) write-ahead-journals every point under ``run_id`` so
+    ``resume=True`` continues a killed run without re-measuring journaled
+    points.
+
     A :class:`~repro.observability.Telemetry` passed as ``telemetry``
     collects per-point spans and engine metrics (cache hits, retries,
     worker utilization); enabling it changes neither the measured curve nor
@@ -217,6 +230,7 @@ def measure_curve_fixed(
     """
     from ..analysis.merge import assemble_curve
     from .parallel import SweepSpec, run_sweep
+    from .supervisor import SupervisorPolicy, run_sweep_supervised
 
     config = config or nehalem_config()
     tel = ensure_telemetry(telemetry)
@@ -239,7 +253,21 @@ def measure_curve_fixed(
         fault_plan=fault_plan,
         telemetry=tel.enabled,
     )
-    results, _ = run_sweep(
-        spec, list(sizes_mb), workers=workers, cache_dir=cache_dir, telemetry=tel
-    )
+    if supervise or journal_dir is not None or resume:
+        policy = supervise if isinstance(supervise, SupervisorPolicy) else None
+        results, _ = run_sweep_supervised(
+            spec,
+            list(sizes_mb),
+            workers=workers,
+            cache_dir=cache_dir,
+            policy=policy,
+            journal_dir=journal_dir,
+            run_id=run_id,
+            resume=resume,
+            telemetry=tel,
+        )
+    else:
+        results, _ = run_sweep(
+            spec, list(sizes_mb), workers=workers, cache_dir=cache_dir, telemetry=tel
+        )
     return assemble_curve(name or "target", results, config.core.clock_hz, telemetry=tel)

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
@@ -52,7 +53,10 @@ from .monitor import DEFAULT_FETCH_RATIO_THRESHOLD
 from .resilience import PointQuality, RetryPolicy
 
 #: Bump when the on-disk cache entry layout changes; part of every cache key.
-CACHE_FORMAT_VERSION = 1
+#: v2 wrapped the point payload in a checksummed envelope (PR 6).
+CACHE_FORMAT_VERSION = 2
+
+_log = logging.getLogger("repro.sweepcache")
 
 
 def derive_point_seed(run_seed: int, stolen_bytes: int) -> int:
@@ -147,6 +151,9 @@ class PointResult:
     samples: list[IntervalSample]
     quality: PointQuality | None = None
     from_cache: bool = False
+    #: True when the point was replayed from a run journal instead of
+    #: measured (supervised --resume path); never persisted
+    from_journal: bool = False
     #: the worker-side telemetry stream (None when telemetry is off or the
     #: point came from the cache); not persisted in the result cache
     telemetry: TelemetryFragment | None = None
@@ -154,12 +161,26 @@ class PointResult:
 
 @dataclass
 class SweepStats:
-    """Where a sweep's points came from."""
+    """Where a sweep's points came from, and what supervision had to do."""
 
     measured: int = 0
     cache_hits: int = 0
     workers: int = 0
     chunks: int = 0
+    #: cache entries found corrupt (and quarantined) while loading
+    cache_corrupt: int = 0
+    #: points replayed from a run journal on --resume
+    journal_hits: int = 0
+    #: points the supervisor gave up on after its failure budget
+    quarantined: int = 0
+    #: extra point submissions beyond each point's first (supervised runs)
+    retries: int = 0
+    #: pool respawns after worker crashes or watchdog kills
+    respawns: int = 0
+    #: wall-clock point timeouts the watchdog fired
+    timeouts: int = 0
+    #: journal run id of a supervised run (None when unjournaled)
+    run_id: str | None = None
 
 
 def sweep_points(spec: SweepSpec, sizes_mb: Sequence[float]) -> list[SweepPoint]:
@@ -293,12 +314,30 @@ def spec_token(spec: SweepSpec) -> dict:
     }
 
 
+def _canonical_json(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+
+
 def point_cache_key(spec: SweepSpec, point: SweepPoint) -> str:
     """Content hash naming one point's cache entry."""
     token = spec_token(spec)
     token["point"] = {"stolen_bytes": point.stolen_bytes, "seed": point.seed}
-    blob = json.dumps(token, sort_keys=True, separators=(",", ":"), default=str)
-    return hashlib.sha256(blob.encode()).hexdigest()
+    return hashlib.sha256(_canonical_json(token).encode()).hexdigest()
+
+
+def sweep_spec_sha(spec: SweepSpec, sizes_mb: Sequence[float]) -> str:
+    """Content hash of a whole sweep: the spec token plus its size grid.
+
+    This is the identity a run journal pins in its head record — resuming a
+    run id under a different spec or size list is refused up front instead
+    of silently mixing measurements from two configurations.
+    """
+    token = spec_token(spec)
+    token["sizes_mb"] = [float(s) for s in sizes_mb]
+    # the run seed is not in spec_token (point cache keys carry each point's
+    # derived seed instead) but it does change every measurement of a sweep
+    token["seed"] = spec.seed
+    return hashlib.sha256(_canonical_json(token).encode()).hexdigest()
 
 
 def _sample_to_dict(s: IntervalSample) -> dict:
@@ -323,58 +362,178 @@ def _sample_from_dict(d: dict) -> IntervalSample:
     )
 
 
+def result_to_payload(result: PointResult) -> dict:
+    """A point result as pure-JSON payload (the cache/journal wire format)."""
+    return {
+        "index": result.index,
+        "size_mb": result.size_mb,
+        "stolen_bytes": result.stolen_bytes,
+        "target_cache_bytes": result.target_cache_bytes,
+        "seed": result.seed,
+        "samples": [_sample_to_dict(s) for s in result.samples],
+        "quality": asdict(result.quality) if result.quality is not None else None,
+    }
+
+
+def result_from_payload(
+    payload: dict, *, from_cache: bool = False, from_journal: bool = False
+) -> PointResult:
+    """Rebuild a :class:`PointResult` from :func:`result_to_payload` output.
+
+    Raises ``KeyError``/``TypeError`` on structurally garbled payloads —
+    callers decide whether that means corruption (cache) or a torn record
+    (journal replay already filters those).
+    """
+    q = payload["quality"]
+    return PointResult(
+        index=payload["index"],
+        size_mb=payload["size_mb"],
+        stolen_bytes=payload["stolen_bytes"],
+        target_cache_bytes=payload["target_cache_bytes"],
+        seed=payload["seed"],
+        samples=[_sample_from_dict(d) for d in payload["samples"]],
+        quality=PointQuality(**q) if q is not None else None,
+        from_cache=from_cache,
+        from_journal=from_journal,
+    )
+
+
+def payload_checksum(payload: dict) -> str:
+    """Content checksum stored beside (and verified against) a payload."""
+    return hashlib.sha256(_canonical_json(payload).encode()).hexdigest()
+
+
+@dataclass
+class CacheAudit:
+    """What a :meth:`SweepCache.verify` scan found, entry path by entry path."""
+
+    ok: list[str] = field(default_factory=list)
+    corrupt: list[str] = field(default_factory=list)
+    stale_version: list[str] = field(default_factory=list)
+    #: previously quarantined ``*.json.corrupt`` files awaiting gc
+    quarantined: list[str] = field(default_factory=list)
+    #: orphaned atomic-write temp files (a writer died pre-rename)
+    stale_tmp: list[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.ok) + len(self.corrupt) + len(self.stale_version)
+
+    @property
+    def clean(self) -> bool:
+        """True when every live entry verified (leftover debris is not dirt)."""
+        return not self.corrupt
+
+    def format(self) -> str:
+        """One-line-per-category report for ``repro cache verify``."""
+        lines = [
+            f"{self.total} entries: {len(self.ok)} ok, "
+            f"{len(self.corrupt)} corrupt, {len(self.stale_version)} stale-version"
+        ]
+        for name in self.corrupt:
+            lines.append(f"  corrupt: {name}")
+        for name in self.stale_version:
+            lines.append(f"  stale-version: {name}")
+        if self.quarantined:
+            lines.append(f"{len(self.quarantined)} quarantined file(s) awaiting gc")
+        if self.stale_tmp:
+            lines.append(f"{len(self.stale_tmp)} orphaned temp file(s) awaiting gc")
+        return "\n".join(lines)
+
+
 class SweepCache:
     """On-disk store of completed sweep points, one JSON file per key.
 
     Writes are atomic (temp file + rename), so a sweep killed mid-write
-    never leaves a corrupt entry, and concurrent sweeps sharing a directory
-    never observe partial files.  Unreadable entries are treated as misses.
+    never leaves a torn entry, and concurrent sweeps sharing a directory
+    never observe partial files.  Every entry is a checksummed envelope —
+    ``{"cache_format", "sha256", "payload"}`` — and reads verify it:
+    truncated, garbled, bit-rotted or structurally bogus entries are
+    **never** served.  They count as misses, are quarantined on the spot
+    (renamed to ``<key>.json.corrupt`` so the evidence survives for
+    post-mortems while re-measurement can re-store the key), logged as a
+    warning, and counted on ``cache_corrupt_total`` when telemetry is live.
+
+    ``verify()``/``repair()``/``gc()`` back the ``repro cache`` CLI.
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, telemetry=None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.telemetry = ensure_telemetry(telemetry)
+        #: corrupt entries seen (and quarantined) by this instance's loads
+        self.corruption_count = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        self.corruption_count += 1
+        self.telemetry.count("cache_corrupt_total")
+        self.telemetry.event("cache_corrupt", entry=path.name, reason=reason)
+        _log.warning("sweep cache entry %s is corrupt (%s); quarantined", path, reason)
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            pass  # losing the quarantine rename must not sink the sweep
+
+    @staticmethod
+    def _decode(text: str) -> tuple[PointResult | None, str | None]:
+        """(result, why-it-is-corrupt): exactly one side is non-None.
+
+        A ``(None, None)`` return means the entry is a valid envelope of a
+        *different* format version — stale, not corrupt.
+        """
+        try:
+            envelope = json.loads(text)
+        except ValueError:
+            return None, "unparseable JSON"
+        if not isinstance(envelope, dict):
+            return None, "not a JSON object"
+        if envelope.get("cache_format") != CACHE_FORMAT_VERSION:
+            return None, None
+        payload = envelope.get("payload")
+        if not isinstance(payload, dict):
+            return None, "missing payload"
+        if envelope.get("sha256") != payload_checksum(payload):
+            return None, "checksum mismatch"
+        try:
+            return result_from_payload(payload, from_cache=True), None
+        except (KeyError, TypeError, ValueError):
+            return None, "malformed payload"
+
     def load(self, key: str) -> PointResult | None:
-        """The cached result for ``key``, or None on a miss."""
+        """The cached result for ``key``, or None on a miss.
+
+        Corruption in any form — torn writes, bit rot, hand-edits, a
+        foreign format — is a *miss*, never an exception: a damaged cache
+        degrades a sweep to re-measurement, it cannot sink it.
+        """
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except FileNotFoundError:
             return None
-        if payload.get("cache_format") != CACHE_FORMAT_VERSION:
+        except OSError as e:
+            self._quarantine(path, f"unreadable ({e.__class__.__name__})")
             return None
-        q = payload["quality"]
-        return PointResult(
-            index=payload["index"],
-            size_mb=payload["size_mb"],
-            stolen_bytes=payload["stolen_bytes"],
-            target_cache_bytes=payload["target_cache_bytes"],
-            seed=payload["seed"],
-            samples=[_sample_from_dict(d) for d in payload["samples"]],
-            quality=PointQuality(**q) if q is not None else None,
-            from_cache=True,
-        )
+        result, reason = self._decode(text)
+        if reason is not None:
+            self._quarantine(path, reason)
+        return result
 
     def store(self, key: str, result: PointResult) -> None:
-        """Persist ``result`` under ``key`` atomically."""
-        payload = {
+        """Persist ``result`` under ``key`` atomically, with its checksum."""
+        payload = result_to_payload(result)
+        envelope = {
             "cache_format": CACHE_FORMAT_VERSION,
-            "index": result.index,
-            "size_mb": result.size_mb,
-            "stolen_bytes": result.stolen_bytes,
-            "target_cache_bytes": result.target_cache_bytes,
-            "seed": result.seed,
-            "samples": [_sample_to_dict(s) for s in result.samples],
-            "quality": asdict(result.quality) if result.quality is not None else None,
+            "sha256": payload_checksum(payload),
+            "payload": payload,
         }
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
+                json.dump(envelope, fh)
             os.replace(tmp, self._path(key))
         except BaseException:
             try:
@@ -382,6 +541,49 @@ class SweepCache:
             except OSError:
                 pass
             raise
+
+    # -- maintenance (the ``repro cache`` CLI) -------------------------------------
+
+    def verify(self) -> CacheAudit:
+        """Scan every entry, re-verifying checksums; mutates nothing."""
+        audit = CacheAudit()
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                result, reason = self._decode(path.read_text())
+            except OSError as e:
+                result, reason = None, f"unreadable ({e.__class__.__name__})"
+            if result is not None:
+                audit.ok.append(path.name)
+            elif reason is None:
+                audit.stale_version.append(path.name)
+            else:
+                audit.corrupt.append(path.name)
+        audit.quarantined = sorted(p.name for p in self.root.glob("*.corrupt"))
+        audit.stale_tmp = sorted(p.name for p in self.root.glob("*.tmp"))
+        return audit
+
+    def repair(self) -> CacheAudit:
+        """Quarantine every corrupt entry so future loads are clean misses."""
+        audit = self.verify()
+        for name in audit.corrupt:
+            self._quarantine(self.root / name, "repair scan")
+        return audit
+
+    def gc(self) -> int:
+        """Delete quarantined/orphaned debris and stale-version entries.
+
+        Returns how many files were removed.  Never touches verified
+        current-format entries.
+        """
+        audit = self.verify()
+        removed = 0
+        for name in audit.quarantined + audit.stale_tmp + audit.stale_version:
+            try:
+                (self.root / name).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
 
 # -- the executor ------------------------------------------------------------------
@@ -450,7 +652,7 @@ def run_sweep(
     if tel.enabled and not spec.telemetry:
         spec = replace(spec, telemetry=True)
     points = sweep_points(spec, sizes_mb)
-    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    cache = SweepCache(cache_dir, telemetry=tel) if cache_dir is not None else None
     stats = SweepStats(workers=workers)
 
     with tel.span("sweep", benchmark=spec.benchmark, n_points=len(points)):
@@ -498,11 +700,21 @@ def run_sweep(
                     max_workers=n_workers, mp_context=ctx
                 ) as pool:
                     not_done = {pool.submit(_measure_chunk, spec, c) for c in chunks}
-                    while not_done:
-                        done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                        for fut in done:
-                            for result in fut.result():
-                                record(result)
+                    try:
+                        while not_done:
+                            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                            for fut in done:
+                                for result in fut.result():
+                                    record(result)
+                    except BaseException:
+                        # Ctrl-C (or any abort) must not be eaten by the
+                        # harvest loop, and must not hang in the pool's
+                        # __exit__ waiting for undispatched chunks: drop
+                        # everything not yet running, then re-raise.
+                        for fut in not_done:
+                            fut.cancel()
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise
                 pool_wall = time.perf_counter() - t0
         else:
             stats.chunks = 1 if pending else 0
@@ -515,6 +727,8 @@ def run_sweep(
         for index in sorted(fragments):
             tel.absorb(fragments[index])
 
+        if cache is not None:
+            stats.cache_corrupt = cache.corruption_count
         if tel.enabled and pool_wall > 0.0 and n_workers > 0:
             busy = _worker_busy_seconds(fragments)
             tel.gauge(

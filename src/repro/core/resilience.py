@@ -192,8 +192,15 @@ class PointQuality:
         return abs(self.measured_mb - self.requested_mb) > 1e-9
 
     @property
+    def quarantined(self) -> bool:
+        """True when the supervisor gave up on this point (see core.supervisor)."""
+        return "quarantined" in self.reasons
+
+    @property
     def label(self) -> str:
-        """Compact quality tag for tables: ok / retried / sub<-X / failed."""
+        """Compact tag for tables: ok / retried / sub<-X / failed / quarantined."""
+        if self.quarantined:
+            return "quarantined"
         if not self.valid:
             return "failed"
         if self.degraded:
@@ -227,6 +234,15 @@ class PartialCurve(PerformanceCurve):
     def degraded_points(self) -> list[PointQuality]:
         """Quality records measured at substituted sizes."""
         return [q for q in self.quality.values() if q.degraded]
+
+    def quarantined_points(self) -> list[PointQuality]:
+        """Quality records of points the supervisor quarantined.
+
+        Quarantined points have *no* curve point (their samples are empty),
+        only this quality record — the curve is shorter than the requested
+        grid, and this is the explicit account of what is missing and why.
+        """
+        return [q for q in self.quality.values() if q.quarantined]
 
     def to_rows(self) -> list[dict]:
         """Curve rows extended with ``attempts`` and ``quality`` columns."""
@@ -478,6 +494,10 @@ def measure_curve_resilient(
     quantum: float | None = None,
     workers: int = 0,
     cache_dir=None,
+    supervise=None,
+    journal_dir=None,
+    run_id: str | None = None,
+    resume: bool = False,
     telemetry=None,
 ) -> PartialCurve:
     """A full fixed-size curve through the retry engine.
@@ -518,5 +538,9 @@ def measure_curve_resilient(
         fault_plan=fault_plan,
         workers=workers,
         cache_dir=cache_dir,
+        supervise=supervise,
+        journal_dir=journal_dir,
+        run_id=run_id,
+        resume=resume,
         telemetry=telemetry,
     )

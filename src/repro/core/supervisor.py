@@ -1,0 +1,554 @@
+"""Supervised sweep execution: watchdogs, crash recovery, quarantine.
+
+:func:`~repro.core.parallel.run_sweep` assumes a friendly world: workers
+never die, points never hang, and every submitted task eventually returns.
+Long pirate sweeps on shared machines — the ROADMAP's curve-as-a-service
+deployment — get none of those guarantees: workers are OOM-killed
+mid-point, a wedged I/O mount hangs a task forever, and a single poisoned
+point can otherwise sink hours of sweep.  This module wraps the same pure
+per-point tasks in a supervisor that holds one headline invariant, proven
+under injected chaos in ``tests/test_chaos.py``:
+
+    Under any schedule of worker kills, point hangs, in-worker errors and
+    cache corruption, a supervised sweep either returns curves
+    bit-identical to a clean serial run or explicitly quarantines the
+    affected points — never silently wrong data.
+
+The mechanics:
+
+* **Watchdog** — with ``SupervisorPolicy.point_timeout_s`` set, a point
+  running past its wall-clock budget is killed (the pool's processes are
+  terminated), charged one failure, and retried; co-resident points are
+  requeued free of charge.
+* **Crash recovery** — a :class:`BrokenProcessPool` cannot say *which*
+  inflight point killed the worker, so nobody is blamed: the pool is
+  respawned and every inflight point is demoted to a *suspect*, re-run
+  **solo** so a repeat crash is unambiguous.  Only proven faults (a solo
+  crash, a timeout, an in-worker exception) count against a point.
+* **Quarantine** — a point reaching ``max_point_failures`` proven faults
+  is recorded as an explicit quarantined result (empty samples, a
+  ``valid=False`` :class:`~repro.core.resilience.PointQuality` whose
+  reasons end in ``"quarantined"``) instead of sinking the sweep.
+* **Durability** — with a journal directory, every point transition is
+  written ahead to a :class:`~repro.core.journal.RunJournal`; ``resume``
+  replays finished and quarantined points from the journal and executes
+  exactly the remainder, even after SIGKILL.
+
+Chaos (:mod:`repro.faults.chaos`) reaches workers through the environment,
+never through the spec — enabling it cannot change a cache key.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Sequence
+
+from ..errors import ConfigError, MeasurementError
+from ..faults.chaos import apply_chaos, chaos_from_env
+from ..observability import TelemetryFragment, ensure_telemetry
+from .journal import JournalState, RunJournal, new_run_id
+from .parallel import (
+    PointResult,
+    SweepCache,
+    SweepPoint,
+    SweepSpec,
+    SweepStats,
+    _check_picklable,
+    default_mp_context,
+    measure_sweep_point,
+    point_cache_key,
+    result_from_payload,
+    result_to_payload,
+    sweep_points,
+    sweep_spec_sha,
+)
+from .resilience import PointQuality
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """The supervisor's failure budget and cadence.
+
+    ``point_timeout_s`` is wall-clock per point *attempt* (None disables
+    the watchdog); ``max_point_failures`` is how many *proven* faults —
+    solo crashes, timeouts, in-worker exceptions; never ambiguous pool
+    breaks — a point may accumulate before quarantine;
+    ``heartbeat_interval_s`` is how often the supervisor wakes to check
+    watchdogs and count a liveness heartbeat.
+    """
+
+    point_timeout_s: float | None = None
+    max_point_failures: int = 2
+    heartbeat_interval_s: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.point_timeout_s is not None and self.point_timeout_s <= 0:
+            raise ConfigError(
+                f"point_timeout_s must be positive or None, got {self.point_timeout_s}"
+            )
+        if self.max_point_failures < 1:
+            raise ConfigError(
+                f"max_point_failures must be >= 1, got {self.max_point_failures}"
+            )
+        if self.heartbeat_interval_s <= 0:
+            raise ConfigError(
+                f"heartbeat_interval_s must be positive, got {self.heartbeat_interval_s}"
+            )
+
+
+def _supervised_task(spec: SweepSpec, point: SweepPoint, attempt: int) -> PointResult:
+    """The pool task of a supervised sweep: chaos hook, then the pure point.
+
+    Module-level so it pickles by reference; the chaos plan arrives through
+    the worker's environment (:func:`~repro.faults.chaos.chaos_from_env`),
+    so the measurement arguments — and hence cache keys — are identical
+    with and without chaos.
+    """
+    apply_chaos(chaos_from_env(), point.index, attempt)
+    return measure_sweep_point(spec, point)
+
+
+def quarantined_result(
+    spec: SweepSpec, point: SweepPoint, *, attempts: int, reasons: Sequence[str]
+) -> PointResult:
+    """The explicit tombstone a quarantined point leaves in the results.
+
+    Empty samples plus a ``valid=False`` quality record whose reasons end
+    in ``"quarantined"`` — downstream merging yields a quality entry with
+    no curve point, so consumers see *that* the point is missing and *why*,
+    instead of silently wrong data.
+    """
+    reason_list = [str(r) for r in reasons]
+    if "quarantined" not in reason_list:
+        reason_list.append("quarantined")
+    quality = PointQuality(
+        requested_mb=point.size_mb,
+        measured_mb=point.size_mb,
+        attempts=max(int(attempts), 1),
+        pirate_fetch_ratio=0.0,
+        valid=False,
+        reasons=reason_list,
+    )
+    return PointResult(
+        index=point.index,
+        size_mb=point.size_mb,
+        stolen_bytes=point.stolen_bytes,
+        target_cache_bytes=spec.config.l3.size - point.stolen_bytes,
+        seed=point.seed,
+        samples=[],
+        quality=quality,
+    )
+
+
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool's workers (the watchdog's only lever on a running task).
+
+    ``concurrent.futures`` cannot cancel a running future, so a wall-clock
+    timeout is enforced the only way possible: kill the processes and let
+    the resulting :class:`BrokenProcessPool` funnel into the unified
+    respawn path.  Reaches into ``pool._processes`` (guarded — a stdlib
+    that renames it degrades to waiting the point out).
+    """
+    processes = getattr(pool, "_processes", None)
+    if not processes:
+        return
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
+def run_sweep_supervised(
+    spec: SweepSpec,
+    sizes_mb: Sequence[float],
+    *,
+    workers: int = 0,
+    cache_dir: str | Path | None = None,
+    policy: SupervisorPolicy | None = None,
+    journal_dir: str | Path | None = None,
+    run_id: str | None = None,
+    resume: bool = False,
+    mp_context=None,
+    telemetry=None,
+) -> tuple[list[PointResult], SweepStats]:
+    """Execute a sweep under supervision; returns (results, stats).
+
+    The supervised sibling of :func:`~repro.core.parallel.run_sweep`: same
+    pure point tasks, same derived seeds, same cache — plus watchdogs,
+    crash recovery, bounded retry with quarantine, and (with
+    ``journal_dir``) a write-ahead journal enabling ``resume``.  Results
+    come back in completion order; quarantined points appear as explicit
+    :func:`quarantined_result` entries.  ``stats.run_id`` carries the
+    journal run id when journaling is on.
+
+    ``workers >= 2`` fans points out one per pool task (supervision needs
+    single-point attribution, so no chunking); anything less runs
+    in-process, where only the ``error`` chaos fault applies — killing or
+    hanging the supervisor's own process is exactly what the worker
+    boundary exists to prevent.
+    """
+    if workers < 0:
+        raise MeasurementError(f"workers must be >= 0, got {workers}")
+    policy = policy or SupervisorPolicy()
+    if resume and journal_dir is None:
+        raise ConfigError("resume needs a journal directory (journal_dir)")
+    if resume and run_id is None:
+        raise ConfigError("resume needs the run id of the journal to continue")
+
+    tel = ensure_telemetry(telemetry)
+    if tel.enabled and not spec.telemetry:
+        spec = replace(spec, telemetry=True)
+    points = sweep_points(spec, sizes_mb)
+    stats = SweepStats(workers=workers)
+    results: list[PointResult] = []
+    settled: set[int] = set()
+
+    journal: RunJournal | None = None
+    if journal_dir is not None:
+        spec_sha = sweep_spec_sha(spec, sizes_mb)
+        if resume:
+            state = JournalState.load(journal_dir, run_id)
+            if state.spec_sha != spec_sha:
+                raise MeasurementError(
+                    f"journal {run_id!r} was written by a different sweep "
+                    f"(spec {state.spec_sha[:12]}.. != {spec_sha[:12]}..); "
+                    f"refusing to resume across configurations"
+                )
+            for index, payload in sorted(state.payloads.items()):
+                if not 0 <= index < len(points):
+                    continue
+                results.append(result_from_payload(payload, from_journal=True))
+                settled.add(index)
+                stats.journal_hits += 1
+                tel.count("journal_replays_total")
+                tel.event("journal_replay", index=index, state="done")
+            for index, info in sorted(state.quarantined.items()):
+                if not 0 <= index < len(points) or index in settled:
+                    continue
+                results.append(
+                    quarantined_result(
+                        spec,
+                        points[index],
+                        attempts=info.get("attempts", 1),
+                        reasons=info.get("reasons", []),
+                    )
+                )
+                settled.add(index)
+                stats.journal_hits += 1
+                stats.quarantined += 1
+                tel.count("journal_replays_total")
+                tel.event("journal_replay", index=index, state="quarantined")
+            journal = RunJournal.resume(journal_dir, run_id)
+        else:
+            run_id = run_id or new_run_id()
+            journal = RunJournal.start(
+                journal_dir,
+                run_id,
+                spec_sha=spec_sha,
+                sizes_mb=[float(s) for s in sizes_mb],
+                meta={"benchmark": spec.benchmark, "workers": workers},
+            )
+        stats.run_id = run_id
+
+    cache = SweepCache(cache_dir, telemetry=tel) if cache_dir is not None else None
+    keys: dict[int, str] = {}
+    fragments: dict[int, TelemetryFragment] = {}
+    attempts: dict[int, int] = {p.index: 0 for p in points}
+    failures: dict[int, int] = {p.index: 0 for p in points}
+    fail_reasons: dict[int, list[str]] = {p.index: [] for p in points}
+
+    def record(result: PointResult) -> None:
+        results.append(result)
+        stats.measured += 1
+        if result.telemetry is not None:
+            fragments[result.index] = result.telemetry
+        if cache is not None:
+            cache.store(keys[result.index], result)
+        if journal is not None:
+            journal.mark_done(result.index, result_to_payload(result))
+
+    def quarantine(point: SweepPoint) -> None:
+        result = quarantined_result(
+            spec, point, attempts=attempts[point.index], reasons=fail_reasons[point.index]
+        )
+        results.append(result)
+        stats.quarantined += 1
+        tel.count("quarantined_points_total")
+        tel.event(
+            "point_quarantined",
+            index=point.index,
+            attempts=attempts[point.index],
+            reasons=result.quality.reasons,
+        )
+        if journal is not None:
+            journal.mark_quarantined(
+                point.index,
+                attempts=attempts[point.index],
+                reasons=result.quality.reasons,
+            )
+
+    def fail(point: SweepPoint, reason: str) -> bool:
+        """Charge one proven fault; True when the point is now quarantined."""
+        failures[point.index] += 1
+        fail_reasons[point.index].append(reason)
+        tel.event(
+            "supervisor_point_failure",
+            index=point.index,
+            reason=reason,
+            failures=failures[point.index],
+        )
+        if failures[point.index] >= policy.max_point_failures:
+            quarantine(point)
+            return True
+        return False
+
+    try:
+        with tel.span(
+            "sweep", benchmark=spec.benchmark, n_points=len(points), supervised=True
+        ):
+            pending: list[SweepPoint] = []
+            for p in points:
+                if p.index in settled:
+                    continue
+                if cache is not None:
+                    keys[p.index] = point_cache_key(spec, p)
+                    hit = cache.load(keys[p.index])
+                    if hit is not None:
+                        results.append(hit)
+                        stats.cache_hits += 1
+                        tel.count("cache_hits_total")
+                        tel.event("cache_hit", index=p.index, size_mb=p.size_mb)
+                        if journal is not None:
+                            journal.mark_done(p.index, result_to_payload(hit))
+                        continue
+                    tel.count("cache_misses_total")
+                pending.append(p)
+
+            if workers >= 2 and pending:
+                _run_pool(
+                    spec, pending, policy, stats,
+                    workers=workers,
+                    mp_context=mp_context,
+                    telemetry=tel,
+                    journal=journal,
+                    attempts=attempts,
+                    record=record,
+                    fail=fail,
+                )
+            else:
+                _run_serial(
+                    spec, pending, policy, stats,
+                    journal=journal,
+                    attempts=attempts,
+                    record=record,
+                    fail=fail,
+                )
+
+            for index in sorted(fragments):
+                tel.absorb(fragments[index])
+            if cache is not None:
+                stats.cache_corrupt = cache.corruption_count
+    finally:
+        if journal is not None:
+            journal.close()
+    return results, stats
+
+
+def _run_serial(
+    spec: SweepSpec,
+    pending: list[SweepPoint],
+    policy: SupervisorPolicy,
+    stats: SweepStats,
+    *,
+    journal: RunJournal | None,
+    attempts: dict[int, int],
+    record,
+    fail,
+) -> None:
+    """In-process supervised execution (errors are survivable, kills are not)."""
+    plan = chaos_from_env()
+    stats.chunks = 1 if pending else 0
+    for point in pending:
+        while True:
+            attempts[point.index] += 1
+            if attempts[point.index] > 1:
+                stats.retries += 1
+            if journal is not None:
+                journal.mark_running(point.index, attempts[point.index])
+            try:
+                apply_chaos(plan, point.index, attempts[point.index], fatal_ok=False)
+                result = measure_sweep_point(spec, point)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as e:
+                if fail(point, f"error: {e.__class__.__name__}: {e}"):
+                    break
+                continue
+            record(result)
+            break
+
+
+def _run_pool(
+    spec: SweepSpec,
+    pending: list[SweepPoint],
+    policy: SupervisorPolicy,
+    stats: SweepStats,
+    *,
+    workers: int,
+    mp_context,
+    telemetry,
+    journal: RunJournal | None,
+    attempts: dict[int, int],
+    record,
+    fail,
+) -> None:
+    """Pooled supervised execution: the watchdog/respawn/quarantine loop."""
+    tel = telemetry
+    _check_picklable(spec)
+    ctx = mp_context if mp_context is not None else default_mp_context()
+    n_workers = min(workers, len(pending))
+    stats.chunks = len(pending)  # one point per task: supervision needs attribution
+
+    queue: deque[SweepPoint] = deque(pending)
+    #: points whose worker died with others inflight — guilt ambiguous, so
+    #: they re-run solo, where a repeat crash is unambiguous
+    suspects: deque[SweepPoint] = deque()
+    inflight: dict[Future, tuple[SweepPoint, float]] = {}
+
+    tel.count("exec_pool_spawns_total")
+    pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx)
+
+    def submit(point: SweepPoint) -> bool:
+        """Journal, then dispatch; False when the pool is already broken."""
+        attempt = attempts[point.index] + 1
+        if journal is not None:
+            journal.mark_running(point.index, attempt)
+        try:
+            fut = pool.submit(_supervised_task, spec, point, attempt)
+        except BrokenProcessPool:
+            # never started, so no chaos fault fired: the attempt does not
+            # count and the schedule stays deterministic
+            return False
+        attempts[point.index] = attempt
+        if attempt > 1:
+            stats.retries += 1
+            tel.count("exec_supervisor_retries_total")
+        inflight[fut] = (point, time.perf_counter())
+        return True
+
+    def respawn() -> None:
+        nonlocal pool
+        stats.respawns += 1
+        tel.count("exec_supervisor_respawns_total")
+        tel.event("supervisor_pool_respawn", respawns=stats.respawns)
+        pool.shutdown(wait=False, cancel_futures=True)
+        tel.count("exec_pool_spawns_total")
+        pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx)
+
+    try:
+        with tel.span("exec_pool", workers=n_workers, supervised=True):
+            while queue or suspects or inflight:
+                # -- top up -------------------------------------------------
+                submit_ok = True
+                if suspects:
+                    if not inflight:  # drain mode: one suspect at a time
+                        submit_ok = submit(suspects[0])
+                        if submit_ok:
+                            suspects.popleft()
+                else:
+                    while queue and len(inflight) < n_workers:
+                        if not submit(queue[0]):
+                            submit_ok = False
+                            break
+                        queue.popleft()
+                if not inflight:
+                    if not submit_ok:
+                        respawn()
+                    continue
+
+                # -- wait one heartbeat ------------------------------------
+                done, _ = wait(
+                    set(inflight),
+                    timeout=policy.heartbeat_interval_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                tel.count("exec_supervisor_heartbeats_total")
+
+                # -- harvest -----------------------------------------------
+                pool_broken = False
+                broken_points: list[SweepPoint] = []
+                for fut in done:
+                    point, _t0 = inflight.pop(fut)
+                    try:
+                        result = fut.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        broken_points.append(point)
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception as e:
+                        # the worker survived to raise: unambiguous fault
+                        if not fail(point, f"worker error: {e.__class__.__name__}: {e}"):
+                            queue.append(point)
+                    else:
+                        record(result)
+
+                if pool_broken:
+                    victims = broken_points + [p for p, _ in inflight.values()]
+                    inflight.clear()
+                    respawn()
+                    if len(victims) == 1:
+                        # a lone inflight point that killed its worker is
+                        # unambiguously guilty (this is how solo re-runs of
+                        # suspects convict or acquit)
+                        if not fail(victims[0], "worker crash"):
+                            suspects.append(victims[0])
+                    else:
+                        tel.event(
+                            "supervisor_pool_broken",
+                            suspects=sorted(p.index for p in victims),
+                        )
+                        suspects.extend(sorted(victims, key=lambda p: p.index))
+                    continue
+
+                # -- watchdog ----------------------------------------------
+                if policy.point_timeout_s is None or not inflight:
+                    continue
+                now = time.perf_counter()
+                expired = [
+                    fut
+                    for fut, (_p, t0) in inflight.items()
+                    if now - t0 >= policy.point_timeout_s
+                ]
+                if not expired:
+                    continue
+                guilty = [inflight[fut][0] for fut in expired]
+                innocents = [p for fut, (p, _t0) in inflight.items() if fut not in expired]
+                inflight.clear()
+                stats.timeouts += len(guilty)
+                for point in guilty:
+                    tel.count("exec_supervisor_timeouts_total")
+                    tel.event(
+                        "supervisor_point_timeout",
+                        index=point.index,
+                        timeout_s=policy.point_timeout_s,
+                    )
+                _kill_pool_processes(pool)
+                respawn()
+                for point in guilty:
+                    if not fail(point, f"timeout after {policy.point_timeout_s:g}s"):
+                        suspects.append(point)  # solo, so a repeat is attributable
+                queue.extend(innocents)  # victims of the kill, requeued free
+    except BaseException:
+        # Ctrl-C (or any abort) must neither be eaten nor hang in shutdown
+        for fut in inflight:
+            fut.cancel()
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown()

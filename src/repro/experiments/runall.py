@@ -76,6 +76,9 @@ def run_all(
     workers: int | None = None,
     cache_dir: str | None = None,
     telemetry=None,
+    journal_dir: str | None = None,
+    run_id: str | None = None,
+    resume: bool = False,
 ) -> dict[str, object]:
     """Run the selected experiments; returns {id: result}.
 
@@ -85,32 +88,71 @@ def run_all(
     ``cache_dir`` lets their fixed-size sweeps resume from cached points.
     A live :class:`~repro.observability.Telemetry` as ``telemetry`` is
     handed to every experiment whose ``run()`` accepts it.
+
+    ``journal_dir`` write-ahead-journals one task per experiment
+    (:class:`~repro.core.journal.TaskJournal` under ``run_id``), so a
+    killed invocation can be continued with ``resume=True``: experiments
+    journaled ``done`` are skipped outright, everything else re-runs.
     """
+    from ..core.journal import TaskJournal, TaskJournalState, new_run_id
+
     selected = list(only) if only else list(EXPERIMENTS)
     unknown = set(selected) - set(EXPERIMENTS)
     if unknown:
         raise KeyError(f"unknown experiment ids: {sorted(unknown)}")
-    results: dict[str, object] = {}
-    for exp_id in EXPERIMENTS:
-        if exp_id not in selected:
-            continue
-        t0 = time.perf_counter()
-        if exp_id == "fig7" and "fig6" in results:
-            result = fig7_errors.from_fig6(results["fig6"])
+
+    journal = None
+    journaled_done: set[str] = set()
+    if resume and journal_dir is None:
+        raise ValueError("resume needs a journal directory (journal_dir)")
+    if journal_dir is not None:
+        if resume:
+            if run_id is None:
+                raise ValueError("resume needs the run id of the journal to continue")
+            journaled_done = TaskJournalState.load(journal_dir, run_id).done_ids()
+            journal = TaskJournal.resume(journal_dir, run_id)
         else:
-            module = EXPERIMENTS[exp_id]
-            result = module.run(
-                scale,
-                seed,
-                **_parallel_kwargs(module, workers, cache_dir, telemetry),
+            run_id = run_id or new_run_id()
+            journal = TaskJournal.start(
+                journal_dir, run_id, meta={"scale": scale.name, "seed": seed}
             )
-        results[exp_id] = result
-        wall = time.perf_counter() - t0
-        echo(f"\n{'=' * 72}")
-        echo(result.format())
-        # machine-parseable, one line per experiment (the CI perf smoke and
-        # bench_baseline.py grep for the REPRO-BENCH prefix)
-        echo(f"REPRO-BENCH bench={exp_id} wall_s={wall:.3f} scale={scale.name}")
+        echo(f"journal run id: {run_id}  (resume with --resume {run_id})")
+
+    results: dict[str, object] = {}
+    try:
+        for exp_id in EXPERIMENTS:
+            if exp_id not in selected:
+                continue
+            if exp_id in journaled_done:
+                # a resumed run trusts the journal: the experiment finished in
+                # an earlier generation, so its artifacts already exist
+                echo(f"\n{'=' * 72}")
+                echo(f"{exp_id}: skipped (journaled done in run {run_id})")
+                continue
+            t0 = time.perf_counter()
+            if journal is not None:
+                journal.mark(exp_id, "running")
+            if exp_id == "fig7" and "fig6" in results:
+                result = fig7_errors.from_fig6(results["fig6"])
+            else:
+                module = EXPERIMENTS[exp_id]
+                result = module.run(
+                    scale,
+                    seed,
+                    **_parallel_kwargs(module, workers, cache_dir, telemetry),
+                )
+            results[exp_id] = result
+            if journal is not None:
+                journal.mark(exp_id, "done")
+            wall = time.perf_counter() - t0
+            echo(f"\n{'=' * 72}")
+            echo(result.format())
+            # machine-parseable, one line per experiment (the CI perf smoke and
+            # bench_baseline.py grep for the REPRO-BENCH prefix)
+            echo(f"REPRO-BENCH bench={exp_id} wall_s={wall:.3f} scale={scale.name}")
+    finally:
+        if journal is not None:
+            journal.close()
     return results
 
 
@@ -138,7 +180,23 @@ def main(argv: list[str] | None = None) -> int:
         help="simulation engine for every experiment (sets REPRO_KERNEL "
              "for this process and its pool workers)",
     )
+    parser.add_argument(
+        "--journal-dir", default="",
+        help="task journal directory: finished experiments survive SIGKILL",
+    )
+    parser.add_argument(
+        "--run-id", default="",
+        help="task journal run id (default: a fresh one, echoed at start)",
+    )
+    parser.add_argument(
+        "--resume", default="", metavar="RUN_ID",
+        help="continue a journaled run, skipping finished experiments",
+    )
     args = parser.parse_args(argv)
+    if args.resume and not args.journal_dir:
+        parser.error("--resume needs --journal-dir")
+    if args.resume and args.run_id and args.run_id != args.resume:
+        parser.error(f"--resume {args.resume} conflicts with --run-id {args.run_id}")
     if args.kernel:
         # the experiments build their configs internally; the env default
         # (see repro.config) is the one switch they all honor, and it is
@@ -170,6 +228,9 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir or None,
         telemetry=telemetry,
+        journal_dir=args.journal_dir or None,
+        run_id=(args.resume or args.run_id) or None,
+        resume=bool(args.resume),
     )
     if args.out:
         with open(args.out, "w") as fh:

@@ -14,10 +14,23 @@ fire.
   (counter glitches, noisy neighbor bursts, scheduler jitter, DRAM
   brownouts),
 * :mod:`repro.faults.controller` — :class:`FaultController`: applies a plan
-  to a live machine through the quantum tick and counter-tamper hooks.
+  to a live machine through the quantum tick and counter-tamper hooks,
+* :mod:`repro.faults.chaos` — process-level chaos for the execution layer:
+  seedable worker kills, point hangs, injected errors and cache corruption,
+  driving the supervision proofs in ``tests/test_chaos.py``.
 """
 
 from .plan import KNOWN_KINDS, FaultEvent, FaultPlan
+from .chaos import (
+    CHAOS_ENV,
+    CHAOS_KILL_EXIT,
+    CORRUPTION_MODES,
+    ChaosError,
+    ChaosPlan,
+    apply_chaos,
+    chaos_from_env,
+    corrupt_cache_entries,
+)
 from .injectors import (
     CounterGlitchInjector,
     DramBrownoutInjector,
@@ -39,4 +52,12 @@ __all__ = [
     "FaultController",
     "NoisyNeighborWorkload",
     "as_controller",
+    "CHAOS_ENV",
+    "CHAOS_KILL_EXIT",
+    "CORRUPTION_MODES",
+    "ChaosError",
+    "ChaosPlan",
+    "apply_chaos",
+    "chaos_from_env",
+    "corrupt_cache_entries",
 ]

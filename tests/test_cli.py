@@ -21,7 +21,7 @@ def test_parser_has_all_commands():
     parser = build_parser()
     text = parser.format_help()
     for cmd in ("list", "curve", "steal", "probe", "bandwidth", "reuse",
-                "validate", "experiments"):
+                "validate", "experiments", "cache"):
         assert cmd in text
 
 
@@ -188,3 +188,79 @@ def test_serial_flag_alone_is_accepted():
         out=out,
     )
     assert rc == 0
+
+
+# -- supervision / durability / cache maintenance (PR 6) ---------------------------
+
+
+SWEEP_FAST = ["sweep", "povray", "--sizes", "8.0,4.0",
+              "--interval", "20000", "--intervals", "1"]
+
+
+@pytest.mark.parametrize(
+    "argv,fragment",
+    [
+        (SWEEP_FAST + ["--resume", "abc123"], "--resume needs --journal-dir"),
+        (SWEEP_FAST + ["--journal-dir", "/tmp/j", "--resume", "a", "--run-id", "b"],
+         "conflicts with --run-id"),
+        (SWEEP_FAST + ["--point-timeout", "0"], "--point-timeout must be positive"),
+        (SWEEP_FAST + ["--max-point-failures", "0"],
+         "--max-point-failures must be >= 1"),
+        (SWEEP_FAST + ["--chaos", "bogus=1"], "--chaos"),
+        (SWEEP_FAST + ["--chaos", "kill=lots"], "not a number"),
+        (["cache", "verify", "/nonexistent/cache/dir"], "no such cache directory"),
+    ],
+)
+def test_supervision_flag_errors_fail_fast(argv, fragment):
+    out = Sink()
+    assert main(argv, out=out) == 2
+    assert fragment in out.text
+
+
+def test_supervised_sweep_with_journal_and_resume(tmp_path):
+    journal = str(tmp_path / "journal")
+    out = Sink()
+    argv = SWEEP_FAST + ["--journal-dir", journal, "--run-id", "cli1"]
+    assert main(argv, out=out) == 0
+    assert "journal run id: cli1" in out.text
+    assert "povray" in out.text
+
+    resumed = Sink()
+    assert main(SWEEP_FAST + ["--journal-dir", journal, "--resume", "cli1"],
+                out=resumed) == 0
+    # the resumed table is identical to the original run's
+    assert [l for l in resumed.lines if l.startswith("  ")] == \
+           [l for l in out.lines if l.startswith("  ")]
+
+
+def test_sweep_chaos_flag_echoes_plan_and_recovers(tmp_path):
+    out = Sink()
+    argv = SWEEP_FAST + ["--chaos", "error=1.0,seed=3"]
+    assert main(argv, out=out) == 0
+    assert "# chaos plan (seed=3" in out.text
+    assert "errors" in out.text
+
+
+def test_cache_cli_verify_repair_gc_cycle(tmp_path):
+    from repro.faults.chaos import corrupt_cache_entries
+
+    cache_dir = str(tmp_path / "cache")
+    assert main(SWEEP_FAST + ["--cache-dir", cache_dir], out=Sink()) == 0
+
+    out = Sink()
+    assert main(["cache", "verify", cache_dir], out=out) == 0
+    assert "2 ok, 0 corrupt" in out.text
+
+    corrupt_cache_entries(cache_dir, seed=1, count=1, mode="tamper")
+    out = Sink()
+    assert main(["cache", "verify", cache_dir], out=out) == 1
+    assert "1 corrupt" in out.text
+
+    out = Sink()
+    assert main(["cache", "repair", cache_dir], out=out) == 0
+    assert "quarantined 1 corrupt entry" in out.text
+    assert main(["cache", "verify", cache_dir], out=Sink()) == 0
+
+    out = Sink()
+    assert main(["cache", "gc", cache_dir], out=out) == 0
+    assert "removed 1 file(s)" in out.text
