@@ -2,8 +2,10 @@
 """Record the kernel-benchmark baseline as ``BENCH_kernels.json``.
 
 Runs the scalar/auto/vector/sampled microbenches from
-``benchmarks/bench_kernels.py`` and writes the payload to the repository
-root (or ``--out``).  The checked-in file is the perf trajectory's anchor:
+``benchmarks/bench_kernels.py`` plus the end-to-end surrogate-vs-measured
+curve bench from ``benchmarks/bench_surrogate.py`` (archived under the
+``surrogate_curve`` key) and writes the payload to the repository root
+(or ``--out``).  The checked-in file is the perf trajectory's anchor:
 re-run after any engine change and review the speedup deltas like any other
 regression diff.
 
@@ -25,6 +27,7 @@ sys.path.insert(0, str(REPO / "src"))
 sys.path.insert(0, str(REPO / "benchmarks"))
 
 from bench_kernels import collect  # noqa: E402
+from bench_surrogate import collect as collect_surrogate  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -40,6 +43,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     payload = collect(quick=args.quick)
+    payload["surrogate_curve"] = collect_surrogate(quick=args.quick)
     Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.out}")
     for name, bench in payload["benches"].items():
@@ -49,6 +53,12 @@ def main(argv: list[str] | None = None) -> int:
             f"({bench['vector_speedup']}x)  sampled/8 {bench['sampled8_s']}s "
             f"({bench['sampled_speedup']}x)"
         )
+    sc = payload["surrogate_curve"]["bench"]
+    print(
+        f"  surrogate_curve: measured {sc['measured_s']}s  "
+        f"surrogate {sc['surrogate_s']}s ({sc['surrogate_speedup']}x)  "
+        f"auto {sc['auto_s']}s ({sc['auto_speedup']}x)"
+    )
     if args.check_speedup is not None:
         got = payload["benches"]["pirate_sweep"]["vector_speedup"]
         if got < args.check_speedup:

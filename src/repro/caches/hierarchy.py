@@ -47,6 +47,13 @@ levels — exact for streaming threads whose reuse distance exceeds the L2
 Set sampling (``MachineConfig.sample_sets = N > 1``) simulates only every
 ``N``-th L3 set and rescales each chunk's L3-derived counters by ``N``;
 private levels stay exact.  See ``DESIGN.md`` for the error model.
+
+Above the kernels sits a coarser dispatch: the harness layer's *engine
+tiers* (:data:`ENGINE_TIERS`).  ``measure`` runs the co-simulation through
+the kernels above; ``surrogate`` skips simulation entirely and predicts the
+curve from a one-pass reuse-distance profile (:mod:`repro.surrogate`);
+``auto`` answers each point analytically and escalates the model's
+low-confidence sizes back to the measured tier.  See DESIGN.md §9.
 """
 
 from __future__ import annotations
@@ -57,6 +64,7 @@ from time import perf_counter
 import numpy as np
 
 from ..config import MachineConfig
+from ..errors import ConfigError
 from .base import CoreMemStats
 from .prefetch import StreamPrefetcher
 from .setassoc import MISS_DIRTY, SetAssocCache, make_cache
@@ -81,6 +89,22 @@ SEG_MAX = 4096
 #: is re-run every AUTO_PROBE_EVERY chunks so its estimate stays current.
 AUTO_PROBE_EVERY = 32
 AUTO_COST_DECAY = 0.5  # EWMA weight of the newest observation
+
+#: Engine tiers the harness layer dispatches between (DESIGN.md §9):
+#: ``measure`` co-runs Target and Pirate on the simulated machine,
+#: ``surrogate`` predicts curves from a reuse-distance profile, ``auto``
+#: predicts first and escalates low-confidence points to ``measure``.
+ENGINE_TIERS = ("measure", "surrogate", "auto")
+
+
+def resolve_engine(name: str) -> str:
+    """Validate an engine-tier name (:class:`~repro.errors.ConfigError` on
+    an unknown tier); returns the name unchanged."""
+    if name not in ENGINE_TIERS:
+        raise ConfigError(
+            f"unknown engine {name!r}: choose from {', '.join(ENGINE_TIERS)}"
+        )
+    return name
 
 _kernels_mod = None
 

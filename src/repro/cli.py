@@ -4,7 +4,9 @@ The tool a user of the real Cache Pirate would have been handed:
 
 * ``list`` — the synthetic benchmark suite,
 * ``curve BENCH`` — CPI/BW/fetch/miss vs cache size from one execution
-  (dynamic pirating), as a table and optional ASCII plot,
+  (dynamic pirating), as a table and optional ASCII plot; ``--engine
+  surrogate|auto`` swaps the co-runs for the analytic predictor
+  (:mod:`repro.surrogate`),
 * ``steal BENCH`` — Pirate fetch ratio vs stolen size + the max it can steal,
 * ``probe BENCH`` — the §III-C thread-count probe,
 * ``bandwidth BENCH`` — the Bandwidth Bandit extension: CPI vs available
@@ -23,7 +25,9 @@ The tool a user of the real Cache Pirate would have been handed:
 * ``validate`` — the conformance oracle: replay each benchmark through the
   pirated cache and the reference simulator and judge them against the
   paper's 3% fetch-ratio bound (``--quick``/``--full`` tiers, ``--json``
-  writes the ``conformance_report.json`` artifact, exit 1 on divergence),
+  writes the ``conformance_report.json`` artifact, exit 1 on divergence);
+  ``--engine surrogate`` grades the analytic predictor instead, per-size
+  PASS/GRAY/FAIL,
 * ``experiments`` — regenerate the paper's tables/figures (see
   ``repro.experiments.runall``).
 """
@@ -96,6 +100,42 @@ def _require_nonneg_int(value: int, what: str) -> int:
     if value < 0:
         raise _CLIError(f"{what} must be >= 0, got {value}")
     return value
+
+
+def _add_tier_args(p: argparse.ArgumentParser) -> None:
+    """``--engine``/``--surrogate-bound``: curve engine-tier knobs."""
+    p.add_argument(
+        "--engine", default="measure",
+        help="curve engine tier: measure (co-run every point), surrogate "
+             "(analytic reuse-distance prediction, no co-runs), auto "
+             "(predict, escalate grey points to bit-exact measurement)",
+    )
+    p.add_argument(
+        "--surrogate-bound", type=float, default=None, metavar="E",
+        help="error-estimate threshold separating confident surrogate points "
+             "from grey ones, in (0, 1) (default: the 3%% conformance bound)",
+    )
+
+
+def _resolve_tier_args(args):
+    """Validate the engine-tier flags; return ``(engine, policy-or-None)``."""
+    from .caches.hierarchy import resolve_engine
+    from .surrogate import SurrogatePolicy
+
+    try:
+        engine = resolve_engine(args.engine)
+    except ConfigError as e:
+        raise _CLIError(f"--engine: {e}") from None
+    policy = None
+    if args.surrogate_bound is not None:
+        if engine == "measure":
+            raise _CLIError("--surrogate-bound needs --engine surrogate or auto")
+        if not 0.0 < args.surrogate_bound < 1.0:
+            raise _CLIError(
+                f"--surrogate-bound must be in (0, 1), got {args.surrogate_bound:g}"
+            )
+        policy = SurrogatePolicy(bound=args.surrogate_bound)
+    return engine, policy
 
 
 def _add_engine_args(p: argparse.ArgumentParser) -> None:
@@ -197,6 +237,27 @@ def cmd_curve(args, out=print) -> int:
     _require_positive(args.total, "--total")
     _require_positive(args.interval, "--interval")
     _require_nonneg_int(args.retries, "--retries")
+    engine, surrogate = _resolve_tier_args(args)
+    if engine != "measure":
+        # analytic tiers predict the whole curve from one profile; there is
+        # no dynamic co-run (and so no overhead figure) to report
+        curve = measure_curve_fixed(
+            _factory(args.benchmark, args.seed),
+            sizes,
+            benchmark=args.benchmark,
+            config=_engine_config(args),
+            seed=args.seed,
+            engine=engine,
+            surrogate=surrogate,
+        )
+        out(curve.format_table())
+        if isinstance(curve, PartialCurve):
+            out(format_quality_report(curve))
+        if args.plot:
+            for metric in ("cpi", "bandwidth_gbps", "fetch_ratio"):
+                out("")
+                out(plot_performance_curve(curve, metric))
+        return 0
     policy = RetryPolicy(max_attempts=args.retries + 1) if args.retries else None
     result = measure_curve_dynamic(
         _factory(args.benchmark, args.seed),
@@ -324,6 +385,7 @@ def cmd_sweep(args, out=print) -> int:
     _require_nonneg_int(args.retries, "--retries")
     if args.intervals < 1:
         raise _CLIError(f"--intervals must be >= 1, got {args.intervals}")
+    engine, surrogate = _resolve_tier_args(args)
     policy = RetryPolicy(max_attempts=args.retries + 1) if args.retries else None
     telemetry = Telemetry() if args.telemetry else None
 
@@ -352,6 +414,11 @@ def cmd_sweep(args, out=print) -> int:
         or resume
         or bool(args.chaos)
     )
+    if engine != "measure" and supervised:
+        raise _CLIError(
+            f"--engine {engine} conflicts with supervision/journaling/chaos: "
+            "analytic sweeps have no long-running points to watch"
+        )
     supervise = None
     if supervised:
         supervise = SupervisorPolicy(
@@ -383,6 +450,8 @@ def cmd_sweep(args, out=print) -> int:
             journal_dir=journal_dir,
             run_id=run_id,
             resume=resume,
+            engine=engine,
+            surrogate=surrogate,
             telemetry=telemetry,
         )
     finally:
@@ -441,6 +510,12 @@ def cmd_validate(args, out=print) -> int:
 
     if args.quick and args.full:
         raise _CLIError("--quick and --full are mutually exclusive")
+    engine, surrogate = _resolve_tier_args(args)
+    if engine == "auto":
+        raise _CLIError(
+            "--engine auto has nothing to grade (its grey points escalate to "
+            "measurement); validate grades measure or surrogate"
+        )
     workers = _resolve_workers(args) or 0
     tier = resolve_tier("full" if args.full else "quick")
     # sampling applies to the measured (pirated) side only; the reference
@@ -467,6 +542,30 @@ def cmd_validate(args, out=print) -> int:
             f"unknown benchmark(s) {', '.join(unknown)}; try: python -m repro list"
         )
     telemetry = Telemetry() if args.telemetry else None
+    if engine == "surrogate":
+        from .validation import grade_suite
+
+        out(
+            f"Surrogate grading — analytic prediction vs reference simulator "
+            f"(tier={tier.name}, bound={tier.bound * 100:.1f}%)"
+        )
+        suite = grade_suite(
+            names,
+            tier,
+            config=config,
+            seed=args.seed,
+            workers=workers,
+            policy=surrogate,
+            telemetry=telemetry,
+            echo=out,
+        )
+        out(suite.summary_line())
+        if args.json:
+            suite.write_json(args.json)
+            out(f"report: {args.json}")
+        if telemetry is not None:
+            _export_telemetry(telemetry, args.telemetry, out)
+        return 0 if suite.passed else 1
     out(
         f"Conformance — pirated cache vs reference simulator "
         f"(tier={tier.name}, bound={tier.bound * 100:.1f}%)"
@@ -498,6 +597,14 @@ def cmd_experiments(args, out=print) -> int:
         argv += ["--only", args.only]
     if args.kernel:
         argv += ["--kernel", args.kernel]
+    if args.engine:
+        from .caches.hierarchy import resolve_engine
+
+        try:
+            resolve_engine(args.engine)
+        except ConfigError as e:
+            raise _CLIError(f"--engine: {e}") from None
+        argv += ["--engine", args.engine]
     if workers is not None:
         argv += ["--workers", str(workers)]
     if args.cache_dir:
@@ -533,6 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-measurements allowed per invalid interval (0 disables the retry engine)",
     )
     _add_engine_args(p)
+    _add_tier_args(p)
     p.set_defaults(fn=cmd_curve)
 
     p = sub.add_parser("steal", help="how much cache the Pirate can steal")
@@ -611,6 +719,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject process-level chaos (testing): "
                         "seed=/kill=/hang=/error=/repeats=/hang-seconds=")
     _add_engine_args(p)
+    _add_tier_args(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
@@ -654,6 +763,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", default="",
                    help="write the run's span/metric stream to this JSONL file")
     _add_engine_args(p)
+    _add_tier_args(p)
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
@@ -669,6 +779,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the run's span/metric stream to this JSONL file")
     p.add_argument("--kernel", choices=KERNEL_MODES, default=None,
                    help="simulation engine for every experiment")
+    p.add_argument("--engine", default="",
+                   help="curve engine tier (measure/surrogate/auto) for "
+                        "experiments that support it (currently conformance)")
     p.add_argument("--journal-dir", default="",
                    help="task journal directory: finished experiments survive SIGKILL")
     p.add_argument("--run-id", default="",

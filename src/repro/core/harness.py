@@ -194,6 +194,8 @@ def measure_curve_fixed(
     journal_dir=None,
     run_id: str | None = None,
     resume: bool = False,
+    engine: str = "measure",
+    surrogate=None,
     telemetry=None,
 ) -> PerformanceCurve:
     """The expensive baseline: one fixed-size execution per cache size.
@@ -223,14 +225,28 @@ def measure_curve_fixed(
     ``resume=True`` continues a killed run without re-measuring journaled
     points.
 
+    ``engine`` selects the tier (:data:`~repro.caches.hierarchy.ENGINE_TIERS`):
+    ``measure`` (default) co-runs every point, ``surrogate`` predicts the
+    whole curve from one reuse-distance profile
+    (:mod:`repro.surrogate`; ``surrogate`` takes a
+    :class:`~repro.surrogate.SurrogatePolicy` to tune it), and ``auto``
+    predicts first, escalating the model's grey (low-confidence) sizes to
+    bit-exact measurement.  Analytic tiers are incompatible with
+    supervision/journaling (there is nothing long-running to supervise)
+    and ignore ``retry``/``fault_plan`` — no measurement runs that could
+    fail or be perturbed.
+
     A :class:`~repro.observability.Telemetry` passed as ``telemetry``
     collects per-point spans and engine metrics (cache hits, retries,
     worker utilization); enabling it changes neither the measured curve nor
     any cache key.
     """
     from ..analysis.merge import assemble_curve
+    from ..caches.hierarchy import resolve_engine
     from .parallel import SweepSpec, run_sweep
     from .supervisor import SupervisorPolicy, run_sweep_supervised
+
+    engine = resolve_engine(engine)
 
     config = config or nehalem_config()
     tel = ensure_telemetry(telemetry)
@@ -253,7 +269,32 @@ def measure_curve_fixed(
         fault_plan=fault_plan,
         telemetry=tel.enabled,
     )
-    if supervise or journal_dir is not None or resume:
+    if engine != "measure":
+        from ..surrogate import run_auto_sweep, run_surrogate_sweep
+
+        if supervise or journal_dir is not None or resume:
+            raise MeasurementError(
+                f"engine={engine!r} cannot run supervised or journaled: "
+                "analytic sweeps have no long-running points to watch"
+            )
+        if engine == "surrogate":
+            results, _ = run_surrogate_sweep(
+                spec,
+                list(sizes_mb),
+                policy=surrogate,
+                cache_dir=cache_dir,
+                telemetry=tel,
+            )
+        else:
+            results, _ = run_auto_sweep(
+                spec,
+                list(sizes_mb),
+                policy=surrogate,
+                workers=workers,
+                cache_dir=cache_dir,
+                telemetry=tel,
+            )
+    elif supervise or journal_dir is not None or resume:
         policy = supervise if isinstance(supervise, SupervisorPolicy) else None
         results, _ = run_sweep_supervised(
             spec,

@@ -197,10 +197,18 @@ class PointQuality:
         return "quarantined" in self.reasons
 
     @property
+    def surrogate(self) -> bool:
+        """True when the point was predicted analytically, not measured."""
+        return "surrogate" in self.reasons
+
+    @property
     def label(self) -> str:
-        """Compact tag for tables: ok / retried / sub<-X / failed / quarantined."""
+        """Compact tag for tables: ok / retried / sub<-X / failed / quarantined
+        (plus surrogate / surrogate-grey for analytically predicted points)."""
         if self.quarantined:
             return "quarantined"
+        if self.surrogate:
+            return "surrogate" if self.valid else "surrogate-grey"
         if not self.valid:
             return "failed"
         if self.degraded:

@@ -11,7 +11,9 @@ validity instead of a plot the reader has to eyeball.
 
 from __future__ import annotations
 
-from ..validation import validate_suite
+from ..caches.hierarchy import resolve_engine
+from ..errors import ConfigError
+from ..validation import grade_suite, validate_suite
 from ..validation.differential import tier_from_scale
 from .scale import QUICK, Scale
 
@@ -23,11 +25,28 @@ def run(
     workers: int = 0,
     telemetry=None,
     include_cigar: bool = True,
+    engine: str = "measure",
 ):
-    """Judge every reference benchmark at this scale's fidelity."""
+    """Judge every reference benchmark at this scale's fidelity.
+
+    ``engine="surrogate"`` judges the analytic predictor
+    (:func:`~repro.validation.surrogate.grade_suite`) instead of the
+    pirated cache; ``auto`` has nothing to grade and is rejected.
+    """
+    engine = resolve_engine(engine)
+    if engine == "auto":
+        raise ConfigError("conformance grades the measure or surrogate engine")
     names = list(scale.reference_benchmarks)
     if include_cigar and "cigar" not in names:
         names.append("cigar")
+    if engine == "surrogate":
+        return grade_suite(
+            names,
+            tier_from_scale(scale),
+            seed=seed,
+            workers=workers,
+            telemetry=telemetry,
+        )
     return validate_suite(
         names,
         tier_from_scale(scale),

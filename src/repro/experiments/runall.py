@@ -48,13 +48,17 @@ EXPERIMENTS = {
 
 
 def _parallel_kwargs(
-    module, workers: int | None, cache_dir: str | None, telemetry=None
+    module,
+    workers: int | None,
+    cache_dir: str | None,
+    telemetry=None,
+    engine: str | None = None,
 ) -> dict:
-    """The subset of {workers, cache_dir, telemetry} a module's run() accepts.
+    """The subset of {workers, cache_dir, telemetry, engine} run() accepts.
 
-    Experiments opt into the parallel executor and the telemetry layer by
-    signature; the rest run unchanged, so fan-out and instrumentation flags
-    never alter what gets measured.
+    Experiments opt into the parallel executor, the telemetry layer and the
+    engine tiers by signature; the rest run unchanged, so fan-out and
+    instrumentation flags never alter what gets measured.
     """
     params = inspect.signature(module.run).parameters
     kwargs = {}
@@ -64,6 +68,8 @@ def _parallel_kwargs(
         kwargs["cache_dir"] = cache_dir
     if telemetry is not None and "telemetry" in params:
         kwargs["telemetry"] = telemetry
+    if engine is not None and "engine" in params:
+        kwargs["engine"] = engine
     return kwargs
 
 
@@ -76,6 +82,7 @@ def run_all(
     workers: int | None = None,
     cache_dir: str | None = None,
     telemetry=None,
+    engine: str | None = None,
     journal_dir: str | None = None,
     run_id: str | None = None,
     resume: bool = False,
@@ -87,7 +94,10 @@ def run_all(
     over a process pool (None keeps each scale's ``max_workers`` default);
     ``cache_dir`` lets their fixed-size sweeps resume from cached points.
     A live :class:`~repro.observability.Telemetry` as ``telemetry`` is
-    handed to every experiment whose ``run()`` accepts it.
+    handed to every experiment whose ``run()`` accepts it, and ``engine``
+    (an :data:`~repro.caches.hierarchy.ENGINE_TIERS` name) to every
+    experiment that can swap the measured sweeps for the analytic
+    surrogate (currently ``conformance``).
 
     ``journal_dir`` write-ahead-journals one task per experiment
     (:class:`~repro.core.journal.TaskJournal` under ``run_id``), so a
@@ -139,7 +149,7 @@ def run_all(
                 result = module.run(
                     scale,
                     seed,
-                    **_parallel_kwargs(module, workers, cache_dir, telemetry),
+                    **_parallel_kwargs(module, workers, cache_dir, telemetry, engine),
                 )
             results[exp_id] = result
             if journal is not None:
@@ -181,6 +191,11 @@ def main(argv: list[str] | None = None) -> int:
              "for this process and its pool workers)",
     )
     parser.add_argument(
+        "--engine", default=None,
+        help="curve engine tier (measure/surrogate/auto) for experiments "
+             "that support it (currently conformance)",
+    )
+    parser.add_argument(
         "--journal-dir", default="",
         help="task journal directory: finished experiments survive SIGKILL",
     )
@@ -206,6 +221,14 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_KERNEL"] = args.kernel
     if args.workers is not None and args.workers < 0:
         parser.error("--workers must be >= 0")
+    if args.engine is not None:
+        from ..caches.hierarchy import resolve_engine
+        from ..errors import ConfigError
+
+        try:
+            resolve_engine(args.engine)
+        except ConfigError as e:
+            parser.error(f"--engine: {e}")
     scale = FULL if args.scale == "full" else QUICK
     only = [s for s in args.only.split(",") if s] or None
     telemetry = None
@@ -228,6 +251,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir or None,
         telemetry=telemetry,
+        engine=args.engine,
         journal_dir=args.journal_dir or None,
         run_id=(args.resume or args.run_id) or None,
         resume=bool(args.resume),

@@ -1,0 +1,157 @@
+"""One-pass reuse-distance profiling for the surrogate engine.
+
+The measured engines cost O(trace × sizes): one co-run per swept cache
+size.  The surrogate tier profiles the Target stream *once* and predicts
+the whole curve from the resulting reuse-distance histogram (the
+StatCache/StatStack approach, the paper's ref [6]).  This module is the
+profiling pass:
+
+* ``sample_rate=1`` (default) — every warm access's exact stack distance,
+  via the vectorized :func:`~repro.analysis.reuse.reuse_distances`,
+* ``sample_rate<1`` — StatStack-style sampling: a seeded subset of warm
+  accesses, each sample's distance counted directly from the
+  previous-occurrence array (O(gap) per sample instead of a full pass).
+  At rate 1.0 the profile is bit-identical to the exact histogram, a
+  convergence property pinned in ``tests/test_surrogate_props.py``.
+
+The profile also keeps the per-line access counts of the window, which is
+exactly the input Che's characteristic-time approximation needs
+(:mod:`repro.surrogate.che`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.reuse import COLD, _prev_occurrence, miss_ratio_from_histogram, reuse_distances
+from ..errors import TraceError
+from ..rng import make_rng
+from ..tracing.trace import AddressTrace
+
+
+@dataclass
+class SurrogateProfile:
+    """Reuse-distance view of one profiled window, possibly sampled."""
+
+    benchmark: str
+    #: sorted warm reuse distances — every warm access at ``sample_rate=1``,
+    #: a seeded subset below it
+    distances: np.ndarray
+    cold_accesses: int
+    #: exact number of warm accesses in the window (== ``distances.size``
+    #: only at ``sample_rate=1``)
+    warm_accesses: int
+    total_accesses: int
+    #: distinct lines touched in the window
+    footprint_lines: int
+    #: accesses per distinct line in the window (Che's frequency input)
+    line_counts: np.ndarray = field(repr=False, default=None)
+    accesses_per_line: float = 1.0
+    sample_rate: float = 1.0
+
+    @property
+    def cold_fraction(self) -> float:
+        return self.cold_accesses / self.total_accesses
+
+    @property
+    def warm_share(self) -> float:
+        """Warm accesses as a fraction of the window."""
+        return self.warm_accesses / self.total_accesses
+
+    def warm_miss_fraction(self, capacity_lines: int) -> float:
+        """Estimated fraction of *warm* accesses missing at ``capacity_lines``
+        (line grain, fully-associative LRU)."""
+        if self.distances.size == 0:
+            if capacity_lines < 0:
+                raise TraceError("capacity must be non-negative")
+            return 0.0
+        return miss_ratio_from_histogram(
+            self.distances, 0, self.distances.size, capacity_lines, include_cold=False
+        )
+
+    def miss_ratio_at_lines(self, capacity_lines: int, *, include_cold: bool = True) -> float:
+        """Fully-associative LRU miss ratio per architectural access.
+
+        Bit-identical to :func:`~repro.analysis.reuse.miss_ratio_from_histogram`
+        at ``sample_rate=1``; below that the sampled warm tail fraction is
+        rescaled to the window's exact warm mass.
+        """
+        if self.sample_rate >= 1.0:
+            return miss_ratio_from_histogram(
+                self.distances,
+                self.cold_accesses,
+                self.total_accesses,
+                capacity_lines,
+                include_cold=include_cold,
+                accesses_per_line=self.accesses_per_line,
+            )
+        misses = self.warm_miss_fraction(capacity_lines) * self.warm_accesses
+        if include_cold:
+            misses += self.cold_accesses
+        return misses / self.total_accesses / self.accesses_per_line
+
+
+def profile_trace(
+    trace: AddressTrace,
+    *,
+    skip_fraction: float = 0.25,
+    sample_rate: float = 1.0,
+    seed: int = 0,
+) -> SurrogateProfile:
+    """Profile a captured trace into a :class:`SurrogateProfile`.
+
+    ``skip_fraction`` excludes the leading portion of the trace from the
+    histogram (distances still count against the full history), mirroring
+    the simulator's warm-up window.  ``sample_rate`` below 1 estimates the
+    histogram from a seeded subset of warm accesses.
+    """
+    if not 0.0 <= skip_fraction < 1.0:
+        raise TraceError("skip_fraction must be in [0, 1)")
+    if not 0.0 < sample_rate <= 1.0:
+        raise TraceError("sample_rate must be in (0, 1]")
+    lines = np.asarray(trace.lines, dtype=np.int64)
+    n = lines.size
+    if n == 0:
+        raise TraceError("empty trace")
+    start = int(n * skip_fraction)
+    window = lines[start:]
+    line_counts = np.unique(window, return_counts=True)[1]
+
+    if sample_rate >= 1.0:
+        tail = reuse_distances(lines)[start:]
+        warm = np.sort(tail[tail >= 0])
+        cold = int((tail == COLD).sum())
+        warm_total = int(warm.size)
+    else:
+        prev = _prev_occurrence(lines)
+        warm_idx = start + np.nonzero(prev[start:] >= 0)[0]
+        warm_total = int(warm_idx.size)
+        cold = int(window.size) - warm_total
+        if warm_total:
+            k = min(warm_total, max(1, int(round(sample_rate * warm_total))))
+            rng = make_rng(seed)
+            picked = np.sort(rng.choice(warm_idx, size=k, replace=False))
+            dists = np.empty(k, dtype=np.int64)
+            for i, t in enumerate(picked.tolist()):
+                # d(t) = lines in (prev[t], t) whose own previous occurrence
+                # is at or before prev[t] — each distinct line counted once,
+                # at its first access inside the reuse window
+                p = int(prev[t])
+                dists[i] = np.count_nonzero(prev[p + 1 : t] <= p)
+            warm = np.sort(dists)
+        else:
+            warm = np.empty(0, dtype=np.int64)
+
+    return SurrogateProfile(
+        benchmark=trace.benchmark,
+        distances=warm,
+        cold_accesses=cold,
+        warm_accesses=warm_total,
+        total_accesses=int(window.size),
+        footprint_lines=int(line_counts.size),
+        line_counts=line_counts,
+        accesses_per_line=trace.accesses_per_line,
+        sample_rate=float(sample_rate),
+    )

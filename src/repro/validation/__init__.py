@@ -22,7 +22,11 @@ package is the machinery that systematically proves they agree:
   models must satisfy regardless of workload (miss-ratio monotonicity in
   cache size, LRU-stack inclusion under way stealing, vanishing fetch
   ratio as the stolen size goes to zero, serial == parallel report
-  equivalence), driven by hypothesis in ``tests/test_validation_props.py``.
+  equivalence), driven by hypothesis in ``tests/test_validation_props.py``,
+* :mod:`~repro.validation.surrogate` — the same oracle pointed at the
+  analytic engine (:mod:`repro.surrogate`): per-size PASS/GRAY/FAIL
+  grades of the predicted curve against the reference simulator
+  (``repro validate --engine surrogate``).
 
 Entry points: ``python -m repro validate`` (CLI), the ``conformance``
 experiment in :mod:`repro.experiments.runall`, and the ``conformance``
@@ -43,6 +47,13 @@ from .properties import (
     pirate_idle_fetch_ratio,
     reports_equivalent,
 )
+from .surrogate import (
+    SizeGrade,
+    SurrogateGrade,
+    SurrogateSuiteReport,
+    grade_suite,
+    grade_surrogate,
+)
 from .tiers import VALIDATE_FULL, VALIDATE_QUICK, ValidationTier, resolve_tier
 
 __all__ = [
@@ -62,4 +73,9 @@ __all__ = [
     "lru_stack_mismatches",
     "pirate_idle_fetch_ratio",
     "reports_equivalent",
+    "SizeGrade",
+    "SurrogateGrade",
+    "SurrogateSuiteReport",
+    "grade_surrogate",
+    "grade_suite",
 ]

@@ -14,7 +14,7 @@ from repro.core import measure_curve_fixed
 from repro.experiments import fig4_micro
 from repro.experiments.scale import Scale
 from repro.observability import Telemetry
-from repro.validation import ValidationTier, validate_suite
+from repro.validation import ValidationTier, grade_surrogate, validate_suite
 from repro.workloads import TargetSpec
 
 #: shrunken scale for the fig4 golden: three sizes, short everything
@@ -95,10 +95,35 @@ def conformance_scenario(workers: int = 0) -> dict:
     return suite.to_dict()
 
 
+def surrogate_scenario() -> dict:
+    """The analytic engine, locked down end to end.
+
+    One surrogate curve (profile -> histogram -> prediction -> synthetic
+    counters, with per-point quality labels) plus one grading run against
+    the reference simulator — any change to the reuse-distance kernels,
+    the Che solver, the error estimate or the grading pipeline shows up
+    here as an explainable diff.
+    """
+    curve = measure_curve_fixed(
+        TargetSpec(kind="micro.random", working_set_mb=2.0, seed=7),
+        [8.0, 4.0, 1.0],
+        benchmark="golden.surrogate",
+        engine="surrogate",
+        seed=11,
+    )
+    grade = grade_surrogate("povray", GOLDEN_TIER, seed=5)
+    return {
+        "curve": {"benchmark": curve.benchmark, "rows": curve.to_rows()},
+        "quality": {str(i): q.label for i, q in sorted(curve.quality.items())},
+        "grade": grade.to_dict(),
+    }
+
+
 #: golden file stem -> scenario builder
 SCENARIOS = {
     "fixed_curve": fixed_curve_scenario,
     "fig4_micro": fig4_scenario,
     "fig4_telemetry": fig4_telemetry_scenario,
     "conformance": conformance_scenario,
+    "surrogate": surrogate_scenario,
 }
