@@ -28,6 +28,12 @@ The tool a user of the real Cache Pirate would have been handed:
   writes the ``conformance_report.json`` artifact, exit 1 on divergence);
   ``--engine surrogate`` grades the analytic predictor instead, per-size
   PASS/GRAY/FAIL,
+* ``grid CONFIG`` — the declarative scenario engine: compile a YAML/JSON
+  grid config (workloads × machines × policies × prefetch × pirate
+  schedules × engine tiers) into content-keyed cells and run them through
+  the parallel engine with sha256 cache dedup; ``--dry-run`` prints the
+  expansion, ``--resume`` skips cells a prior run already finished,
+  ``--out`` collects CSV/JSONL artifacts (see ``repro.scenarios``),
 * ``experiments`` — regenerate the paper's tables/figures (see
   ``repro.experiments.runall``).
 """
@@ -54,7 +60,13 @@ from .faults.chaos import ChaosPlan
 from .observability import Telemetry, format_report, read_jsonl, summarize, write_jsonl
 from .tracing import capture_trace
 from .units import MB
-from .workloads import BENCHMARK_NAMES, TargetSpec, benchmark_spec, benchmark_target
+from .workloads import (
+    BENCHMARK_NAMES,
+    ZOO_NAMES,
+    TargetSpec,
+    benchmark_spec,
+    benchmark_target,
+)
 
 
 class _CLIError(Exception):
@@ -229,6 +241,15 @@ def cmd_list(args, out=print) -> int:
         spec = benchmark_spec(name)
         out(f"{name:12} {spec.spec_id:16} {spec.footprint_mb():13.1f}  {spec.note}")
     out(f"{'cigar':12} {'(GA benchmark)':16} {6.15:13.1f}  6MB fetch-ratio knee (Fig. 6)")
+    zoo_notes = {
+        "zipf": "Zipf(0.8) request stream over 2MB (workload zoo)",
+        "sharing": "data-sharing thread, 50% shared footprint (workload zoo)",
+        "replay": "record->replay of a 2MB random stream (workload zoo)",
+    }
+    for name in ZOO_NAMES:
+        spec = benchmark_target(name)
+        fp = spec().footprint_lines() * 64 / MB
+        out(f"{name:12} {'(workload zoo)':16} {fp:13.1f}  {zoo_notes[name]}")
     return 0
 
 
@@ -534,7 +555,7 @@ def cmd_validate(args, out=print) -> int:
         if not 0.0 < args.bound < 1.0:
             raise _CLIError(f"--bound must be in (0, 1), got {args.bound:g}")
         tier = tier.with_bound(args.bound)
-    known = set(BENCHMARK_NAMES) | {"cigar"}
+    known = set(BENCHMARK_NAMES) | {"cigar"} | set(ZOO_NAMES)
     names = list(args.benchmarks) or [*BENCHMARK_NAMES, "cigar"]
     unknown = [n for n in names if n not in known]
     if unknown:
@@ -586,6 +607,53 @@ def cmd_validate(args, out=print) -> int:
     if telemetry is not None:
         _export_telemetry(telemetry, args.telemetry, out)
     return 0 if suite.passed else 1
+
+
+def cmd_grid(args, out=print) -> int:
+    from .scenarios import compile_grid, emit, format_summary, load_grid_config, run_grid
+
+    workers = _resolve_workers(args) or 0
+    try:
+        config = load_grid_config(args.config)
+        if args.engine:
+            from .caches.hierarchy import resolve_engine
+
+            engine = resolve_engine(args.engine)
+            config.setdefault("axes", {})["engine"] = [engine]
+        grid = compile_grid(config)
+    except ConfigError as e:
+        raise _CLIError(str(e)) from None
+    out(
+        f"grid {grid.name}: {len(grid.cells)} cells, {grid.n_points} points"
+        + (f" ({grid.duplicates} duplicate cells deduped)" if grid.duplicates else "")
+    )
+    if args.dry_run:
+        out(f"{'cell':12} {'engine':9} {'sizes (MB)':18} coordinates")
+        for cell in grid.cells:
+            sizes = ",".join(f"{s:g}" for s in cell.sizes_mb)
+            out(f"{cell.key[:12]} {cell.engine:9} {sizes:18} {cell.coords()}")
+        return 0
+    if args.resume and not args.out:
+        raise _CLIError("--resume needs --out (where prior cell results live)")
+    telemetry = Telemetry() if args.telemetry else None
+    result = run_grid(
+        grid,
+        workers=workers,
+        cache_dir=args.cache_dir or None,
+        out_dir=args.out or None,
+        resume=bool(args.resume),
+        telemetry=telemetry,
+        echo=out,
+    )
+    out(format_summary(result))
+    if args.out:
+        for path in emit(
+            result, args.out, csv_out=grid.report.csv, jsonl_out=grid.report.jsonl
+        ):
+            out(f"wrote {path}")
+    if telemetry is not None:
+        _export_telemetry(telemetry, args.telemetry, out)
+    return 1 if result.conformance_failures else 0
 
 
 def cmd_experiments(args, out=print) -> int:
@@ -766,6 +834,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tier_args(p)
     p.set_defaults(fn=cmd_validate)
 
+    p = sub.add_parser(
+        "grid",
+        help="compile and run a declarative scenario grid (YAML/JSON config)",
+    )
+    p.add_argument("config", help="grid config file (.yaml/.yml or JSON)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="process fan-out for each cell's sweep points (0 = serial)")
+    p.add_argument("--serial", action="store_true",
+                   help="force in-process execution (conflicts with --workers)")
+    p.add_argument("--engine", default="",
+                   help="override the grid's engine axis with one tier "
+                        "(measure/surrogate/auto)")
+    p.add_argument("--cache-dir", default="",
+                   help="content-addressed sweep result cache; identical points "
+                        "across cells, grids and runs dedupe here")
+    p.add_argument("--out", default="",
+                   help="results directory: per-cell artifacts plus CSV/JSONL emit")
+    p.add_argument("--resume", action="store_true",
+                   help="skip cells whose results already sit in --out")
+    p.add_argument("--dry-run", action="store_true",
+                   help="print the expanded cells without running anything")
+    p.add_argument("--telemetry", default="",
+                   help="write the run's span/metric stream to this JSONL file")
+    p.set_defaults(fn=cmd_grid)
+
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("--scale", choices=("quick", "full"), default="quick")
     p.add_argument("--only", default="")
@@ -796,7 +889,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None, out=print) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "benchmark", None) is not None:
-        known = set(BENCHMARK_NAMES) | {"cigar"}
+        known = set(BENCHMARK_NAMES) | {"cigar"} | set(ZOO_NAMES)
         if args.benchmark not in known:
             out(f"unknown benchmark {args.benchmark!r}; try: python -m repro list")
             return 2

@@ -1,0 +1,44 @@
+"""Declarative scenario grids: one config drives hundreds of experiments.
+
+A grid config (YAML, JSON, or a python dict) names axes — workloads,
+machine geometries, replacement policies, prefetcher switches, pirate
+schedules, engine tiers — and this package compiles their cartesian
+product into content-keyed cells (:mod:`repro.scenarios.grid`), executes
+them through the parallel sweep engine with sha256 cache dedup
+(:mod:`repro.scenarios.runner`), and emits the results as CSV/JSONL plus
+conformance verdicts (:mod:`repro.scenarios.collect`).  The ``repro
+grid`` CLI subcommand is a thin shell over these three stages.
+"""
+
+from .collect import ROW_FIELDS, emit, format_summary, write_rows_csv, write_rows_jsonl
+from .grid import (
+    AXIS_KEYS,
+    GEOMETRIES,
+    CompiledGrid,
+    GridCell,
+    GridError,
+    ReportOptions,
+    compile_grid,
+    load_grid_config,
+)
+from .runner import CellResult, GridResult, run_cell, run_grid
+
+__all__ = [
+    "AXIS_KEYS",
+    "GEOMETRIES",
+    "CompiledGrid",
+    "GridCell",
+    "GridError",
+    "ReportOptions",
+    "compile_grid",
+    "load_grid_config",
+    "CellResult",
+    "GridResult",
+    "run_cell",
+    "run_grid",
+    "ROW_FIELDS",
+    "emit",
+    "format_summary",
+    "write_rows_csv",
+    "write_rows_jsonl",
+]

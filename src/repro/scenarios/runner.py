@@ -1,0 +1,268 @@
+"""Execute a compiled grid through the parallel/supervised sweep engine.
+
+Each :class:`~repro.scenarios.grid.GridCell` becomes one
+:class:`~repro.core.parallel.SweepSpec` dispatched by its engine tier —
+``measure`` through :func:`~repro.core.parallel.run_sweep`, ``surrogate``
+and ``auto`` through the analytic engine — so every point inherits the
+existing machinery wholesale: process-pool fan-out, content-derived seeds,
+and the sha256 :class:`~repro.core.parallel.SweepCache`.  Identical cells
+across grids (or across runs) therefore dedupe at the *point* level for
+free: a re-run of an unchanged grid against the same cache directory
+measures nothing and reports 100% cache hits.
+
+Two resume layers compose:
+
+* ``cache_dir`` — point-level: completed sweep points load from the
+  content-addressed cache regardless of which run produced them.
+* ``out_dir`` + ``resume=True`` — cell-level: each finished cell leaves a
+  ``cells/<key>.json`` artifact (key-verified on load), and a resumed run
+  skips those cells without touching the engine at all.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from ..core.curves import PerformanceCurve
+from ..core.parallel import SweepSpec, run_sweep
+from ..observability import ensure_telemetry
+from .grid import CompiledGrid, GridCell
+
+
+@dataclass
+class CellResult:
+    """One cell's curve rows plus where its points came from."""
+
+    cell: GridCell
+    #: one mapping per swept size (the CSV/JSONL row schema)
+    rows: list[dict] = field(default_factory=list)
+    measured: int = 0
+    cache_hits: int = 0
+    #: conformance verdict mapping when the grid asked for one, else None
+    conformance: dict | None = None
+    #: loaded from a prior run's cell artifact instead of executing
+    resumed: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.cell.key,
+            "label": self.cell.label,
+            "rows": self.rows,
+            "measured": self.measured,
+            "cache_hits": self.cache_hits,
+            "conformance": self.conformance,
+        }
+
+
+@dataclass
+class GridResult:
+    """The whole grid's outcome: per-cell results and engine statistics."""
+
+    name: str
+    cells: list[CellResult] = field(default_factory=list)
+
+    @property
+    def measured(self) -> int:
+        return sum(c.measured for c in self.cells)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(c.cache_hits for c in self.cells)
+
+    @property
+    def resumed_cells(self) -> int:
+        return sum(1 for c in self.cells if c.resumed)
+
+    @property
+    def conformance_failures(self) -> list[str]:
+        return [
+            c.cell.coords()
+            for c in self.cells
+            if c.conformance is not None and not c.conformance["passed"]
+        ]
+
+    def rows(self) -> list[dict]:
+        """All cells' rows, in cell order (the emit pipeline's input)."""
+        return [row for c in self.cells for row in c.rows]
+
+
+def _cell_rows(cell: GridCell, results, clock_hz: float) -> list[dict]:
+    """Aggregate one cell's point results into per-size metric rows."""
+    samples = [s for r in results for s in r.samples]
+    curve = PerformanceCurve.from_samples(cell.label, samples, clock_hz)
+    return [
+        {
+            "cell": cell.key[:12],
+            "workload": cell.label,
+            "policy": cell.policy,
+            "prefetch": cell.prefetch,
+            "pirate_threads": cell.pirate_threads,
+            "engine": cell.engine,
+            "l3_mb": cell.machine.l3.size / (1024 * 1024),
+            "l3_ways": cell.machine.l3.ways,
+            "size_mb": p.cache_mb,
+            "cpi": p.cpi,
+            "bandwidth_gbps": p.bandwidth_gbps,
+            "fetch_ratio": p.fetch_ratio,
+            "miss_ratio": p.miss_ratio,
+            "pirate_fetch_ratio": p.pirate_fetch_ratio,
+            "valid": p.valid,
+        }
+        for p in curve.points
+    ]
+
+
+def _cell_conformance(cell: GridCell, grid: CompiledGrid, workers: int, tel) -> dict:
+    """Judge one cell through the differential oracle (§III-B, 3% bound)."""
+    from ..validation.conformance import conformance_report
+    from ..validation.differential import differential_compare
+    from ..validation.tiers import ValidationTier
+
+    tier = ValidationTier(
+        name="grid",
+        sizes_mb=cell.sizes_mb,
+        trace_lines=grid.report.trace_lines,
+        bound=grid.report.bound,
+    )
+    diff = differential_compare(
+        cell.label,
+        tier,
+        config=replace(cell.machine, prefetch_enabled=False),
+        seed=cell.seed,
+        workers=workers,
+        telemetry=tel,
+        factory=cell.workload,
+    )
+    report = conformance_report(diff, bound=grid.report.bound)
+    return {
+        "passed": report.passed,
+        "worst_divergence": report.worst_divergence,
+        "bound": report.bound,
+        "violations": report.violations,
+        "untrusted": report.untrusted,
+    }
+
+
+def _cell_artifact(out_dir: Path, cell: GridCell) -> Path:
+    return out_dir / "cells" / f"{cell.key[:16]}.json"
+
+
+def _load_cell(out_dir: Path, cell: GridCell) -> CellResult | None:
+    """A prior run's verified result for this cell, or None."""
+    path = _cell_artifact(out_dir, cell)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if payload.get("key") != cell.key:
+        return None  # short-name collision or stale artifact: re-run
+    return CellResult(
+        cell=cell,
+        rows=payload["rows"],
+        measured=0,
+        cache_hits=len(payload["rows"]),
+        conformance=payload.get("conformance"),
+        resumed=True,
+    )
+
+
+def run_cell(
+    cell: GridCell,
+    grid: CompiledGrid,
+    *,
+    workers: int = 0,
+    cache_dir: str | Path | None = None,
+    telemetry=None,
+) -> CellResult:
+    """Execute one cell through its engine tier; pure in (cell, grid)."""
+    tel = ensure_telemetry(telemetry)
+    spec = SweepSpec(
+        target=cell.workload,
+        benchmark=cell.label,
+        config=cell.machine,
+        num_pirate_threads=cell.pirate_threads,
+        interval_instructions=grid.interval_instructions,
+        n_intervals=grid.n_intervals,
+        warmup_instructions=grid.warmup_instructions,
+        seed=cell.seed,
+    )
+    sizes = list(cell.sizes_mb)
+    with tel.span("grid_cell", cell=cell.key[:12], engine=cell.engine):
+        if cell.engine == "measure":
+            results, stats = run_sweep(
+                spec, sizes, workers=workers, cache_dir=cache_dir, telemetry=tel
+            )
+        else:
+            from ..surrogate.engine import run_auto_sweep, run_surrogate_sweep
+
+            if cell.engine == "surrogate":
+                results, stats = run_surrogate_sweep(
+                    spec, sizes, cache_dir=cache_dir, telemetry=tel
+                )
+            else:
+                results, stats = run_auto_sweep(
+                    spec, sizes, workers=workers, cache_dir=cache_dir, telemetry=tel
+                )
+        out = CellResult(
+            cell=cell,
+            rows=_cell_rows(cell, results, cell.machine.core.clock_hz),
+            measured=stats.measured,
+            cache_hits=stats.cache_hits,
+        )
+        if grid.report.conformance:
+            out.conformance = _cell_conformance(cell, grid, workers, tel)
+    return out
+
+
+def run_grid(
+    grid: CompiledGrid,
+    *,
+    workers: int = 0,
+    cache_dir: str | Path | None = None,
+    out_dir: str | Path | None = None,
+    resume: bool = False,
+    telemetry=None,
+    echo=None,
+) -> GridResult:
+    """Run every cell of a compiled grid; returns the collected results.
+
+    ``workers`` fans each cell's points over a process pool (cells
+    themselves run in sequence — results are bit-identical for any worker
+    count).  ``echo`` receives one progress line per cell.
+    """
+    tel = ensure_telemetry(telemetry)
+    say = echo or (lambda _line: None)
+    out_path = Path(out_dir) if out_dir is not None else None
+    if out_path is not None:
+        (out_path / "cells").mkdir(parents=True, exist_ok=True)
+    result = GridResult(name=grid.name)
+    with tel.span("grid_run", grid=grid.name, cells=len(grid.cells)):
+        for i, cell in enumerate(grid.cells, 1):
+            prior = (
+                _load_cell(out_path, cell)
+                if resume and out_path is not None
+                else None
+            )
+            if prior is not None:
+                result.cells.append(prior)
+                say(f"[{i}/{len(grid.cells)}] {cell.coords()}: resumed")
+                continue
+            outcome = run_cell(
+                cell, grid, workers=workers, cache_dir=cache_dir, telemetry=tel
+            )
+            result.cells.append(outcome)
+            if out_path is not None:
+                artifact = _cell_artifact(out_path, cell)
+                tmp = artifact.with_suffix(".json.tmp")
+                tmp.write_text(json.dumps(outcome.to_dict(), indent=2) + "\n")
+                tmp.replace(artifact)
+            status = f"{outcome.measured} measured, {outcome.cache_hits} cached"
+            if outcome.conformance is not None:
+                status += (
+                    ", conformance "
+                    + ("PASS" if outcome.conformance["passed"] else "FAIL")
+                )
+            say(f"[{i}/{len(grid.cells)}] {cell.coords()}: {status}")
+    return result

@@ -12,6 +12,12 @@ mixtures (:mod:`repro.workloads.mixture`), phase alternation
 (:mod:`repro.workloads.phased`), the named suite (:mod:`repro.workloads.spec`),
 micro benchmarks for Fig. 4 (:mod:`repro.workloads.micro`) and the cigar
 workload with its 6MB knee (:mod:`repro.workloads.cigar`).
+
+The workload zoo extends the suite with request-stream families: Zipf
+popularity streams (:mod:`repro.workloads.zipf`), data-sharing
+multithreaded targets (:mod:`repro.workloads.sharing`), and recorded
+address traces with a compact binary mmap format
+(:mod:`repro.workloads.tracefile`).
 """
 
 from .base import Workload, instance_base
@@ -26,7 +32,26 @@ from .phased import PhasedWorkload
 from .spec import BENCHMARK_NAMES, benchmark_spec, make_benchmark
 from .micro import random_micro, sequential_micro
 from .cigar import make_cigar
-from .target import TARGET_KINDS, TargetSpec, benchmark_target
+from .zipf import ZipfPattern, make_zipf
+from .sharing import SHARED_REGION_BASE, make_sharing, sharing_regions
+from .tracefile import (
+    TRACE_FORMAT_VERSION,
+    TraceFile,
+    TraceReplayWorkload,
+    make_replay,
+    open_trace,
+    record_trace,
+    replay_trace,
+    trace_token,
+    write_trace,
+)
+from .target import (
+    TARGET_KINDS,
+    ZOO_NAMES,
+    TargetSpec,
+    benchmark_target,
+    zoo_target,
+)
 
 __all__ = [
     "Workload",
@@ -44,7 +69,23 @@ __all__ = [
     "random_micro",
     "sequential_micro",
     "make_cigar",
+    "ZipfPattern",
+    "make_zipf",
+    "SHARED_REGION_BASE",
+    "make_sharing",
+    "sharing_regions",
+    "TRACE_FORMAT_VERSION",
+    "TraceFile",
+    "TraceReplayWorkload",
+    "make_replay",
+    "open_trace",
+    "record_trace",
+    "replay_trace",
+    "trace_token",
+    "write_trace",
     "TARGET_KINDS",
+    "ZOO_NAMES",
     "TargetSpec",
     "benchmark_target",
+    "zoo_target",
 ]

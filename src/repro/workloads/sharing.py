@@ -1,0 +1,155 @@
+"""Data-sharing multithreaded target family (Yavits et al., arXiv:1602.01329).
+
+The built-in suite models single-threaded programs in disjoint address
+spaces.  Shared-memory multithreaded applications break that assumption:
+every thread splits its accesses between a *private* partition and a
+*shared* footprint common to all threads, and the shared fraction decides
+how much effective cache the thread group needs.
+
+:func:`make_sharing` builds one thread of such an application.  The knob is
+``shared_fraction`` — the fraction of the explicit footprint (and, because
+regions are accessed with uniform density, of the region accesses) that
+lands in the shared partition.  The shared region occupies the *same* line
+addresses for every thread of the same family ``seed``, so co-running
+threads genuinely hit each other's lines; private regions are disjoint per
+``thread_id``.  A statistical test pins the realized access fraction to the
+knob (``tests/test_workload_zoo.py``).
+
+Single-target measurements (one thread plus the Pirate) work under the
+default ``MachineConfig.private_data=True``.  When co-running *several*
+threads of one sharing family through :mod:`repro.core.multitarget`, set
+``private_data=False`` — lines in the shared partition are fetched by more
+than one core, so back-invalidation must visit all of them.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..rng import stable_seed
+from ..units import MB
+from .base import Workload, instance_base
+from .mixture import MixtureComponent, MixtureWorkload
+from .patterns import RandomPattern
+from .spec import HOT_REGION_BYTES
+
+#: lines per MB at the fixed 64B line size
+_LINES_PER_MB = MB // 64
+
+#: Base line address of the shared partition: above every per-instance slot
+#: this library hands out (instance ids stay far below ~190) and below the
+#: Pirate's range at 1 << 40, so sharing threads alias only where intended.
+SHARED_REGION_BASE = 3 << 38
+
+#: pad between per-thread private slots so they never alias (lines)
+_PRIVATE_PAD_LINES = _LINES_PER_MB
+
+
+def make_sharing(
+    shared_fraction: float = 0.5,
+    footprint_mb: float = 2.0,
+    *,
+    num_threads: int = 2,
+    thread_id: int = 0,
+    instance: int = 0,
+    seed: int = 0,
+    weight: float = 0.3,
+) -> Workload:
+    """One thread of a data-sharing multithreaded target.
+
+    ``footprint_mb`` is the thread's explicit footprint; a
+    ``shared_fraction`` slice of it is the family-wide shared partition
+    (same absolute lines for every ``thread_id`` under the same ``seed``)
+    and the rest is thread-private.  ``weight`` is the absolute access
+    fraction of the explicit regions together; the remainder models the
+    L1-resident stack, as everywhere in :mod:`repro.workloads.spec`.
+    """
+    if not 0.0 <= shared_fraction <= 1.0:
+        raise ConfigError(
+            f"shared_fraction must be in [0, 1], got {shared_fraction}"
+        )
+    if footprint_mb <= 0:
+        raise ConfigError("sharing footprint must be positive")
+    if num_threads < 1:
+        raise ConfigError(f"num_threads must be >= 1, got {num_threads}")
+    if not 0 <= thread_id < num_threads:
+        raise ConfigError(
+            f"thread_id must be in [0, {num_threads}), got {thread_id}"
+        )
+    if not 0.0 < weight <= 1.0:
+        raise ConfigError(f"sharing weight must be in (0, 1], got {weight}")
+
+    total_lines = max(int(footprint_mb * _LINES_PER_MB), 1)
+    shared_lines = int(round(total_lines * shared_fraction))
+    private_lines = total_lines - shared_lines
+
+    components = []
+    if shared_lines > 0:
+        # keyed by the family seed only — every thread addresses the same
+        # shared lines; the per-thread RNG seed just decorrelates the order
+        components.append(
+            MixtureComponent(
+                pattern=RandomPattern(
+                    SHARED_REGION_BASE,
+                    shared_lines,
+                    seed=stable_seed(seed, "sharing", "shared", thread_id),
+                ),
+                weight=weight * shared_fraction,
+            )
+        )
+    if private_lines > 0:
+        slot = instance_base(instance) + thread_id * (
+            total_lines + _PRIVATE_PAD_LINES
+        )
+        components.append(
+            MixtureComponent(
+                pattern=RandomPattern(
+                    slot,
+                    private_lines,
+                    seed=stable_seed(seed, "sharing", "private", thread_id),
+                ),
+                weight=weight * (1.0 - shared_fraction),
+            )
+        )
+    hot = 1.0 - weight
+    if hot > 1e-9 or not components:
+        hot_base = (
+            instance_base(instance)
+            + num_threads * (total_lines + _PRIVATE_PAD_LINES)
+            + thread_id * (HOT_REGION_BYTES // 64 + _PRIVATE_PAD_LINES)
+        )
+        components.append(
+            MixtureComponent(
+                pattern=RandomPattern(
+                    hot_base,
+                    HOT_REGION_BYTES // 64,
+                    seed=stable_seed(seed, "sharing", "hot", thread_id),
+                ),
+                weight=max(hot, 1e-9),
+            )
+        )
+    return MixtureWorkload(
+        f"sharing(f={shared_fraction:g},{footprint_mb:g}MB,t{thread_id})",
+        components,
+        mem_fraction=0.33,
+        cpi_base=0.72,
+        mlp=2.0,
+        accesses_per_line=1.0,
+        write_fraction=0.25,
+        seed=stable_seed(seed, "sharing", "mix", thread_id),
+    )
+
+
+def sharing_regions(
+    shared_fraction: float, footprint_mb: float
+) -> tuple[tuple[int, int], int]:
+    """(shared line range, private line count) for the given knobs.
+
+    The statistical suite uses this to classify a generated address stream
+    without duplicating the layout arithmetic.
+    """
+    total_lines = max(int(footprint_mb * _LINES_PER_MB), 1)
+    shared_lines = int(round(total_lines * shared_fraction))
+    return (
+        (SHARED_REGION_BASE, SHARED_REGION_BASE + shared_lines),
+        total_lines - shared_lines,
+    )

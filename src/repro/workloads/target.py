@@ -12,6 +12,14 @@ seed) that
 * pickles, so :mod:`repro.core.parallel` can ship it to worker processes,
 * exposes a canonical :meth:`token`, so the sweep result cache can key
   entries by workload content rather than by object identity.
+
+Beyond the calibrated suite, a spec can name the workload-zoo families:
+``zipf`` (skewed request streams), ``sharing`` (one thread of a
+data-sharing multithreaded target), ``replay`` (in-memory record → replay
+of a named source), and ``trace`` (a recorded RPAT file replayed via
+mmap).  ``trace`` is the one kind whose content lives outside the spec;
+its token therefore embeds the payload sha256 so cache keys follow the
+bytes, not the path.
 """
 
 from __future__ import annotations
@@ -22,10 +30,26 @@ from ..errors import ConfigError
 from .base import Workload
 from .cigar import make_cigar
 from .micro import random_micro, sequential_micro
+from .sharing import make_sharing
 from .spec import benchmark_spec, make_benchmark
+from .tracefile import make_replay, replay_trace, trace_token
+from .zipf import make_zipf
 
 #: Workload families a :class:`TargetSpec` can name.
-TARGET_KINDS = ("benchmark", "cigar", "micro.random", "micro.sequential")
+TARGET_KINDS = (
+    "benchmark",
+    "cigar",
+    "micro.random",
+    "micro.sequential",
+    "zipf",
+    "sharing",
+    "replay",
+    "trace",
+)
+
+#: Zoo families addressable by bare name in the CLI (``repro validate``
+#: and grid configs), alongside the calibrated suite benchmarks.
+ZOO_NAMES = ("zipf", "sharing", "replay")
 
 
 @dataclass(frozen=True)
@@ -33,9 +57,12 @@ class TargetSpec:
     """A workload named by content: picklable, callable, cache-keyable.
 
     ``kind`` selects the family; ``name`` is the suite benchmark for
-    ``kind="benchmark"`` (ignored otherwise); ``working_set_mb`` sizes the
-    Fig. 4 micro benchmarks (ignored otherwise).  ``instance`` and ``seed``
-    mean what they mean everywhere else in :mod:`repro.workloads`.
+    ``kind="benchmark"`` and the optional source benchmark for
+    ``kind="replay"`` (ignored otherwise); ``working_set_mb`` sizes the
+    Fig. 4 micro benchmarks and the zoo generators.  ``alpha`` is the Zipf
+    skew, ``shared_fraction`` the sharing knob, ``path`` the RPAT file for
+    ``kind="trace"``.  ``instance`` and ``seed`` mean what they mean
+    everywhere else in :mod:`repro.workloads`.
     """
 
     kind: str
@@ -43,14 +70,32 @@ class TargetSpec:
     instance: int = 0
     seed: int = 0
     working_set_mb: float = 4.0
+    alpha: float = 0.8
+    shared_fraction: float = 0.5
+    path: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in TARGET_KINDS:
             raise ConfigError(f"unknown target kind {self.kind!r}; known: {TARGET_KINDS}")
         if self.kind == "benchmark":
             benchmark_spec(self.name)  # raises on unknown names
-        if self.kind.startswith("micro.") and not self.working_set_mb > 0:
-            raise ConfigError("micro benchmarks need a positive working set")
+        if self.kind == "replay" and self.name:
+            benchmark_spec(self.name)
+        needs_ws = self.kind.startswith("micro.") or self.kind in (
+            "zipf",
+            "sharing",
+            "replay",
+        )
+        if needs_ws and not self.working_set_mb > 0:
+            raise ConfigError(f"{self.kind} targets need a positive working set")
+        if self.kind == "zipf" and not 0.0 <= self.alpha <= 8.0:
+            raise ConfigError(f"zipf alpha must be in [0, 8], got {self.alpha}")
+        if self.kind == "sharing" and not 0.0 <= self.shared_fraction <= 1.0:
+            raise ConfigError(
+                f"shared_fraction must be in [0, 1], got {self.shared_fraction}"
+            )
+        if self.kind == "trace" and not self.path:
+            raise ConfigError("trace targets need a path to an RPAT file")
 
     def __call__(self) -> Workload:
         """Build a fresh workload instance (the factory protocol)."""
@@ -62,17 +107,73 @@ class TargetSpec:
             return random_micro(
                 self.working_set_mb, instance=self.instance, seed=self.seed
             )
-        return sequential_micro(
-            self.working_set_mb, instance=self.instance, seed=self.seed
-        )
+        if self.kind == "micro.sequential":
+            return sequential_micro(
+                self.working_set_mb, instance=self.instance, seed=self.seed
+            )
+        if self.kind == "zipf":
+            return make_zipf(
+                self.working_set_mb,
+                self.alpha,
+                instance=self.instance,
+                seed=self.seed,
+            )
+        if self.kind == "sharing":
+            return make_sharing(
+                self.shared_fraction,
+                self.working_set_mb,
+                instance=self.instance,
+                seed=self.seed,
+            )
+        if self.kind == "replay":
+            return make_replay(
+                self.name,
+                self.working_set_mb,
+                instance=self.instance,
+                seed=self.seed,
+            )
+        return replay_trace(self.path)
 
     def token(self) -> dict:
-        """Canonical content token for cache keys (stable across runs)."""
-        return {"target_spec": asdict(self)}
+        """Canonical content token for cache keys (stable across runs).
+
+        For ``kind="trace"`` the token is keyed by the file's payload
+        sha256 (via :func:`~repro.workloads.tracefile.trace_token`), so
+        moving or copying a trace does not fork the cache and editing one
+        invalidates it.
+        """
+        tok = asdict(self)
+        if self.kind == "trace":
+            tok["path"] = trace_token(self.path)
+        return {"target_spec": tok}
 
 
 def benchmark_target(name: str, *, instance: int = 0, seed: int = 0) -> TargetSpec:
-    """Spec for a suite benchmark or the cigar application."""
+    """Spec for a suite benchmark, the cigar application, or a zoo family."""
     if name == "cigar":
         return TargetSpec(kind="cigar", instance=instance, seed=seed)
+    if name in ZOO_NAMES:
+        return zoo_target(name, instance=instance, seed=seed)
     return TargetSpec(kind="benchmark", name=name, instance=instance, seed=seed)
+
+
+def zoo_target(
+    name: str,
+    *,
+    working_set_mb: float = 2.0,
+    alpha: float = 0.8,
+    shared_fraction: float = 0.5,
+    instance: int = 0,
+    seed: int = 0,
+) -> TargetSpec:
+    """Spec for a workload-zoo family member at its default operating point."""
+    if name not in ZOO_NAMES:
+        raise ConfigError(f"unknown zoo family {name!r}; known: {ZOO_NAMES}")
+    return TargetSpec(
+        kind=name,
+        instance=instance,
+        seed=seed,
+        working_set_mb=working_set_mb,
+        alpha=alpha,
+        shared_fraction=shared_fraction,
+    )

@@ -119,6 +119,40 @@ def surrogate_scenario() -> dict:
     }
 
 
+#: the grid golden's config: two zoo workloads across two policies and both
+#: engine tiers, tiny sweeps — locks the compiler (cell keys and ordering)
+#: and the runner (every row) down as one JSON tree
+GOLDEN_GRID = {
+    "name": "golden_grid",
+    "seed": 17,
+    "axes": {
+        "workload": [
+            {"family": "zipf", "working_set_mb": 1.0, "alpha": 1.0},
+            {"family": "sharing", "working_set_mb": 1.0, "shared_fraction": 0.5},
+        ],
+        "policy": ["nru", "lru"],
+        "pirate": [{"threads": 1, "sizes_mb": [2.0, 8.0]}],
+        "engine": ["measure", "surrogate"],
+    },
+    "sweep": {"interval_instructions": 40000.0, "n_intervals": 1},
+}
+
+
+def grid_scenario(workers: int = 0) -> dict:
+    """A scenario grid compiled and run end to end, rows plus cell keys.
+
+    ``workers`` must not change the output (serial == parallel grids).
+    """
+    from repro.scenarios import compile_grid, run_grid
+
+    grid = compile_grid(GOLDEN_GRID)
+    result = run_grid(grid, workers=workers)
+    return {
+        "cells": [c.key for c in grid.cells],
+        "rows": result.rows(),
+    }
+
+
 #: golden file stem -> scenario builder
 SCENARIOS = {
     "fixed_curve": fixed_curve_scenario,
@@ -126,4 +160,5 @@ SCENARIOS = {
     "fig4_telemetry": fig4_telemetry_scenario,
     "conformance": conformance_scenario,
     "surrogate": surrogate_scenario,
+    "grid": grid_scenario,
 }

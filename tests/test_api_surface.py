@@ -38,6 +38,13 @@ def test_version():
         "repro.validation.conformance",
         "repro.validation.properties",
         "repro.validation.tiers",
+        "repro.scenarios",
+        "repro.scenarios.grid",
+        "repro.scenarios.runner",
+        "repro.scenarios.collect",
+        "repro.workloads.zipf",
+        "repro.workloads.sharing",
+        "repro.workloads.tracefile",
         "repro.cli",
     ],
 )

@@ -1,0 +1,190 @@
+"""Binary RPAT trace format: round trips, mmap replay, corruption rejection.
+
+The format's contract is all-or-nothing: a reader either serves the exact
+recorded stream (bit-identical, zero-copy via mmap) or raises a one-line
+``TraceError`` — never a silent partial replay.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads import (
+    TargetSpec,
+    TraceReplayWorkload,
+    make_zipf,
+    open_trace,
+    record_trace,
+    replay_trace,
+    trace_token,
+    write_trace,
+)
+from repro.workloads.tracefile import TRACE_FORMAT_VERSION, _HEADER
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = tmp_path / "stream.rpat"
+    src = make_zipf(0.5, 1.0, seed=11)
+    record_trace(src, 12_000, path, chunk_lines=4096)
+    return path
+
+
+def _rechunk(workload, n, chunk):
+    workload.reset()
+    out, rem = [], n
+    while rem:
+        take = min(chunk, rem)
+        out.append(np.asarray(workload.chunk(take)[0]))
+        rem -= take
+    return np.concatenate(out)
+
+
+def test_record_replay_bit_identical(trace_path):
+    """record -> mmap replay reproduces the generator stream exactly."""
+    tf = open_trace(trace_path)
+    expected = _rechunk(make_zipf(0.5, 1.0, seed=11), 12_000, 4096)
+    assert np.array_equal(np.asarray(tf.lines), expected)
+    replayed, _ = replay_trace(trace_path).chunk(12_000)
+    assert np.array_equal(replayed, expected)
+
+
+def test_replay_is_memory_mapped(trace_path):
+    tf = open_trace(trace_path)
+    assert isinstance(tf.lines, np.memmap)
+    assert tf.count == 12_000
+    assert tf.footprint_lines() == np.unique(tf.lines).size
+
+
+def test_write_mask_round_trip(tmp_path):
+    rng = np.random.default_rng(5)
+    lines = rng.integers(0, 1 << 20, size=1000)
+    writes = rng.random(1000) < 0.3
+    path = tmp_path / "w.rpat"
+    write_trace(path, lines, writes=writes, meta={"benchmark": "w"})
+    tf = open_trace(path)
+    assert np.array_equal(tf.writes, writes)
+    got_lines, got_writes = replay_trace(path).chunk(1000)
+    assert np.array_equal(got_lines, lines)
+    assert np.array_equal(got_writes, writes)
+
+
+def test_cyclic_replay_wraps(trace_path):
+    wl = replay_trace(trace_path)
+    tf = open_trace(trace_path)
+    lines, _ = wl.chunk(tf.count + 500)
+    assert np.array_equal(lines[: tf.count], np.asarray(tf.lines))
+    assert np.array_equal(lines[tf.count :], np.asarray(tf.lines[:500]))
+    wl.reset()
+    again, _ = wl.chunk(tf.count + 500)
+    assert np.array_equal(lines, again)
+
+
+def test_replay_meta_carries_timing_scalars(trace_path):
+    src = make_zipf(0.5, 1.0, seed=11)
+    wl = replay_trace(trace_path)
+    assert wl.mem_fraction == src.mem_fraction
+    assert wl.cpi_base == src.cpi_base
+    assert wl.write_fraction == src.write_fraction
+
+
+@pytest.mark.parametrize("cut", [0, 10, 55, 100])
+def test_truncated_raises_one_line(trace_path, tmp_path, cut):
+    """Any prefix of a valid file is rejected with a one-line TraceError."""
+    data = trace_path.read_bytes()
+    bad = tmp_path / "cut.rpat"
+    bad.write_bytes(data[:cut])
+    with pytest.raises(TraceError) as e:
+        open_trace(bad)
+    assert "\n" not in str(e.value)
+
+
+def test_truncated_payload_raises(trace_path, tmp_path):
+    data = trace_path.read_bytes()
+    bad = tmp_path / "short.rpat"
+    bad.write_bytes(data[:-64])
+    with pytest.raises(TraceError, match="truncated"):
+        open_trace(bad)
+
+
+def test_garbage_raises(tmp_path):
+    bad = tmp_path / "garbage.rpat"
+    bad.write_bytes(b"\xde\xad\xbe\xef" * 64)
+    with pytest.raises(TraceError, match="bad magic"):
+        open_trace(bad)
+
+
+def test_tampered_payload_raises(trace_path, tmp_path):
+    data = bytearray(trace_path.read_bytes())
+    data[-9] ^= 0x40
+    bad = tmp_path / "tampered.rpat"
+    bad.write_bytes(bytes(data))
+    with pytest.raises(TraceError, match="checksum"):
+        open_trace(bad)
+
+
+def test_foreign_version_raises(trace_path, tmp_path):
+    magic, _v, flags, meta_len, count, sha = _HEADER.unpack(
+        trace_path.read_bytes()[: _HEADER.size]
+    )
+    data = bytearray(trace_path.read_bytes())
+    data[: _HEADER.size] = _HEADER.pack(
+        magic, TRACE_FORMAT_VERSION + 1, flags, meta_len, count, sha
+    )
+    bad = tmp_path / "future.rpat"
+    bad.write_bytes(bytes(data))
+    with pytest.raises(TraceError, match="unsupported"):
+        open_trace(bad)
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(TraceError):
+        open_trace(tmp_path / "nope.rpat")
+
+
+def test_empty_trace_rejected_on_write(tmp_path):
+    with pytest.raises(TraceError):
+        write_trace(tmp_path / "e.rpat", np.array([], dtype=np.int64))
+
+
+def test_zero_count_header_rejected(tmp_path):
+    bad = tmp_path / "zero.rpat"
+    bad.write_bytes(_HEADER.pack(b"RPAT", TRACE_FORMAT_VERSION, 0, 0, 0, b"\0" * 32))
+    with pytest.raises(TraceError, match="empty"):
+        open_trace(bad)
+
+
+def test_token_follows_bytes_not_path(trace_path, tmp_path):
+    """Copies share a cache identity; different content forks it."""
+    copy = tmp_path / "elsewhere.rpat"
+    copy.write_bytes(trace_path.read_bytes())
+    assert trace_token(copy) == trace_token(trace_path)
+
+    other = tmp_path / "other.rpat"
+    record_trace(make_zipf(0.5, 1.0, seed=12), 12_000, other, chunk_lines=4096)
+    assert trace_token(other) != trace_token(trace_path)
+
+    spec_a = TargetSpec(kind="trace", path=str(trace_path))
+    spec_b = TargetSpec(kind="trace", path=str(copy))
+    assert spec_a.token() == spec_b.token()
+
+
+def test_trace_target_spec_builds_replayer(trace_path):
+    wl = TargetSpec(kind="trace", path=str(trace_path))()
+    assert isinstance(wl, TraceReplayWorkload)
+    tf = open_trace(trace_path)
+    lines, _ = wl.chunk(100)
+    assert np.array_equal(lines, np.asarray(tf.lines[:100]))
+
+
+def test_trace_spec_without_path_rejected():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="path"):
+        TargetSpec(kind="trace")
+
+
+def test_header_is_fixed_56_bytes():
+    assert _HEADER.size == struct.calcsize("<4sIIIQ32s") == 56

@@ -1,0 +1,212 @@
+"""Statistical contracts of the workload zoo.
+
+The zoo families are generators, so their tests are statistical at fixed
+seeds: the Zipf stream's rank-frequency law matches its ``alpha``, the
+sharing family's address stream hits the configured shared fraction, and
+every family is deterministic — including across process boundaries, which
+is what lets the scenario grid fan zoo cells over a pool and still dedupe
+against the content-addressed cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import parallel_map
+from repro.errors import ConfigError
+from repro.units import MB
+from repro.workloads import (
+    ZOO_NAMES,
+    TargetSpec,
+    ZipfPattern,
+    benchmark_target,
+    instance_base,
+    make_replay,
+    make_sharing,
+    make_zipf,
+    sharing_regions,
+    zoo_target,
+)
+from repro.workloads.sharing import SHARED_REGION_BASE
+
+# -- Zipf rank-frequency law ---------------------------------------------------
+
+
+@pytest.mark.parametrize("alpha", [0.6, 1.0, 1.4])
+def test_zipf_rank_frequency_slope(alpha):
+    """log(freq) vs log(rank) slope recovers -alpha at a fixed seed."""
+    pattern = ZipfPattern(0, 4096, alpha=alpha, seed=42)
+    lines = pattern.lines(300_000)
+    counts = np.sort(np.bincount(lines, minlength=4096))[::-1]
+    # fit over the well-populated head; the tail is shot-noise dominated
+    ranks = np.arange(1, 101, dtype=np.float64)
+    head = counts[:100].astype(np.float64)
+    assert head.min() > 0
+    slope = np.polyfit(np.log(ranks), np.log(head), 1)[0]
+    assert slope == pytest.approx(-alpha, abs=0.1)
+
+
+def test_zipf_alpha_zero_is_uniform():
+    pattern = ZipfPattern(0, 512, alpha=0.0, seed=7)
+    lines = pattern.lines(200_000)
+    counts = np.bincount(lines, minlength=512)
+    expected = 200_000 / 512
+    assert counts.min() > 0.7 * expected
+    assert counts.max() < 1.3 * expected
+
+
+def test_zipf_hot_lines_scattered_not_clustered():
+    """The seeded permutation spreads popular ranks across the region."""
+    pattern = ZipfPattern(0, 4096, alpha=1.2, seed=3)
+    lines = pattern.lines(100_000)
+    top = np.argsort(np.bincount(lines, minlength=4096))[::-1][:32]
+    # if ranks mapped identically, the hot lines would all sit at offsets
+    # 0..31; the permutation should spread them over the whole region
+    assert top.max() > 1024
+    assert np.std(top) > 500
+
+
+def test_zipf_reset_replays_identically():
+    pattern = ZipfPattern(0, 1024, alpha=0.9, seed=5)
+    first = pattern.lines(5000)
+    pattern.reset()
+    assert np.array_equal(pattern.lines(5000), first)
+
+
+def test_zipf_alpha_validation():
+    with pytest.raises(ConfigError):
+        ZipfPattern(0, 64, alpha=-0.1)
+    with pytest.raises(ConfigError):
+        ZipfPattern(0, 64, alpha=9.0)
+    with pytest.raises(ConfigError):
+        make_zipf(0.0)
+
+
+def test_make_zipf_footprint_tracks_working_set():
+    wl = make_zipf(2.0, 0.8)
+    assert wl.footprint_lines() >= 2 * MB // 64
+
+
+# -- data-sharing family -------------------------------------------------------
+
+
+@pytest.mark.parametrize("fraction", [0.25, 0.5, 0.75])
+def test_sharing_fraction_hits_knob(fraction):
+    """Explicit-region accesses split shared/private at the configured knob."""
+    wl = make_sharing(fraction, 2.0, seed=9)
+    lines, _ = wl.chunk(200_000)
+    (shared_lo, shared_hi), private_count = sharing_regions(fraction, 2.0)
+    private_lo = instance_base(0)
+    shared = np.count_nonzero((lines >= shared_lo) & (lines < shared_hi))
+    private = np.count_nonzero(
+        (lines >= private_lo) & (lines < private_lo + private_count)
+    )
+    realized = shared / (shared + private)
+    assert realized == pytest.approx(fraction, abs=0.02)
+
+
+def test_sharing_threads_share_the_same_lines():
+    """All threads of one family address one shared partition."""
+    t0 = make_sharing(0.5, 1.0, num_threads=2, thread_id=0, seed=4)
+    t1 = make_sharing(0.5, 1.0, num_threads=2, thread_id=1, seed=4)
+    lo, hi = sharing_regions(0.5, 1.0)[0]
+
+    def shared_lines(wl):
+        # enough draws that uniform sampling covers ~all of the partition
+        lines, _ = wl.chunk(400_000)
+        return set(lines[(lines >= lo) & (lines < hi)].tolist())
+
+    a, b = shared_lines(t0), shared_lines(t1)
+    overlap = len(a & b) / max(len(a | b), 1)
+    assert overlap > 0.95
+
+
+def test_sharing_private_regions_disjoint():
+    t0 = make_sharing(0.5, 1.0, num_threads=2, thread_id=0, seed=4)
+    t1 = make_sharing(0.5, 1.0, num_threads=2, thread_id=1, seed=4)
+    lo = sharing_regions(0.5, 1.0)[0][0]
+
+    def private_lines(wl):
+        lines, _ = wl.chunk(50_000)
+        return set(lines[lines < lo].tolist())
+
+    assert not (private_lines(t0) & private_lines(t1))
+
+
+def test_sharing_extremes():
+    all_shared = make_sharing(1.0, 1.0, seed=1)
+    lines, _ = all_shared.chunk(50_000)
+    explicit = lines[lines >= SHARED_REGION_BASE]
+    assert len(explicit) > 0
+    none_shared = make_sharing(0.0, 1.0, seed=1)
+    lines, _ = none_shared.chunk(50_000)
+    assert not np.any(lines >= SHARED_REGION_BASE)
+
+
+def test_sharing_validation():
+    with pytest.raises(ConfigError):
+        make_sharing(1.5, 1.0)
+    with pytest.raises(ConfigError):
+        make_sharing(0.5, 0.0)
+    with pytest.raises(ConfigError):
+        make_sharing(0.5, 1.0, num_threads=2, thread_id=2)
+
+
+# -- replay family -------------------------------------------------------------
+
+
+def test_replay_family_deterministic():
+    a, _ = make_replay("", 1.0, record_lines=4000, seed=6).chunk(6000)
+    b, _ = make_replay("", 1.0, record_lines=4000, seed=6).chunk(6000)
+    assert np.array_equal(a, b)
+
+
+def test_replay_of_suite_benchmark():
+    wl = make_replay("libquantum", record_lines=4000, seed=2)
+    assert wl.name == "replay(libquantum)"
+    lines, _ = wl.chunk(1000)
+    assert lines.dtype == np.int64
+
+
+# -- cross-process determinism -------------------------------------------------
+
+
+def _first_lines(spec: TargetSpec) -> list[int]:
+    """Module-level so it pickles into pool workers."""
+    lines, _ = spec().chunk(2000)
+    return lines.tolist()
+
+
+def test_zoo_deterministic_across_processes():
+    """A zoo spec builds the identical stream in-process and in workers."""
+    specs = [zoo_target(name, seed=13) for name in ZOO_NAMES]
+    local = [_first_lines(s) for s in specs]
+    pooled = parallel_map(_first_lines, specs, workers=2)
+    assert pooled == local
+
+
+# -- TargetSpec integration ----------------------------------------------------
+
+
+def test_zoo_names_resolve_via_benchmark_target():
+    for name in ZOO_NAMES:
+        spec = benchmark_target(name)
+        assert spec.kind == name
+        assert spec().footprint_lines() > 0
+
+
+def test_zoo_tokens_distinct_and_content_keyed():
+    tokens = [zoo_target(n).token() for n in ZOO_NAMES]
+    assert len({str(t) for t in tokens}) == len(tokens)
+    assert zoo_target("zipf", alpha=0.8).token() != zoo_target("zipf", alpha=1.2).token()
+    assert zoo_target("zipf", seed=0).token() == zoo_target("zipf", seed=0).token()
+
+
+def test_zoo_spec_validation():
+    with pytest.raises(ConfigError):
+        zoo_target("nope")
+    with pytest.raises(ConfigError):
+        TargetSpec(kind="zipf", alpha=99.0)
+    with pytest.raises(ConfigError):
+        TargetSpec(kind="sharing", shared_fraction=-0.1)
+    with pytest.raises(ConfigError):
+        TargetSpec(kind="replay", working_set_mb=0.0)
