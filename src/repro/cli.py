@@ -35,7 +35,15 @@ The tool a user of the real Cache Pirate would have been handed:
   expansion, ``--resume`` skips cells a prior run already finished,
   ``--out`` collects CSV/JSONL artifacts (see ``repro.scenarios``),
 * ``experiments`` — regenerate the paper's tables/figures (see
-  ``repro.experiments.runall``).
+  ``repro.experiments.runall``),
+* ``serve`` — the curve service: an asyncio job server over stdlib HTTP
+  (unix socket or TCP) with a bounded queue, content-key dedup of identical
+  in-flight work, an LRU result store with warm-start, per-client quotas,
+  and journal-backed crash resume (see ``repro.service``),
+* ``submit BENCH | --grid CONFIG`` / ``status [KEY]`` / ``fetch KEY`` /
+  ``watch KEY`` — the service clients: submit sweeps (every response
+  carries the job's sha256 content key, so re-submits are cache hits),
+  poll state, fetch finished curves, stream progress events as JSON lines.
 """
 
 from __future__ import annotations
@@ -656,6 +664,245 @@ def cmd_grid(args, out=print) -> int:
     return 1 if result.conformance_failures else 0
 
 
+# -- the curve service (repro serve / submit / status / fetch / watch) --------------
+
+
+def _add_service_addr(p: argparse.ArgumentParser) -> None:
+    """``--socket``/``--host``/``--port``: where the curve service lives."""
+    p.add_argument("--socket", default="", metavar="PATH",
+                   help="unix socket of the service")
+    p.add_argument("--host", default="", help="TCP host of the service")
+    p.add_argument("--port", type=int, default=0, help="TCP port of the service")
+    p.add_argument("--timeout", type=float, default=60.0, metavar="SECONDS",
+                   help="per-request socket timeout")
+
+
+def _service_client(args):
+    from .service import ServiceClient, ServiceError
+
+    try:
+        return ServiceClient(
+            socket_path=args.socket or None,
+            host=args.host or None,
+            port=args.port,
+            timeout=args.timeout,
+            client_id=getattr(args, "client", ""),
+        )
+    except (ServiceError, OSError) as e:
+        raise _CLIError(str(e)) from None
+
+
+def cmd_serve(args, out=print) -> int:
+    import asyncio
+
+    from .service import run_server
+
+    if not args.socket and not args.host:
+        raise _CLIError("serve needs --socket PATH and/or --host (with --port)")
+    if args.job_workers < 1:
+        raise _CLIError(f"--job-workers must be >= 1, got {args.job_workers}")
+    if args.queue_size < 1:
+        raise _CLIError(f"--queue-size must be >= 1, got {args.queue_size}")
+    if args.store_max < 1:
+        raise _CLIError(f"--store-max must be >= 1, got {args.store_max}")
+    _require_nonneg_int(args.workers, "--workers")
+    _require_nonneg_int(args.quota, "--quota")
+    if args.point_timeout is not None:
+        _require_positive(args.point_timeout, "--point-timeout")
+    where = " + ".join(
+        s for s in (
+            f"unix:{args.socket}" if args.socket else "",
+            f"{args.host}:{args.port}" if args.host else "",
+        ) if s
+    )
+    out(f"serving curves on {where}  (state: {args.state_dir})")
+    try:
+        asyncio.run(
+            run_server(
+                args.state_dir,
+                socket_path=args.socket or None,
+                host=args.host or None,
+                port=args.port,
+                job_workers=args.job_workers,
+                sweep_workers=args.workers,
+                queue_size=args.queue_size,
+                store_max=args.store_max,
+                quota=args.quota,
+                point_timeout=args.point_timeout,
+            )
+        )
+    except KeyboardInterrupt:
+        out("shutting down")
+    return 0
+
+
+def cmd_submit(args, out=print) -> int:
+    from .service import JobSpec, ServiceError
+
+    client = _service_client(args)
+    jobs: list = []
+    if args.grid:
+        if args.benchmark:
+            raise _CLIError("--grid conflicts with a benchmark argument; pick one")
+        from .scenarios import compile_grid, load_grid_config
+
+        try:
+            grid = compile_grid(load_grid_config(args.grid))
+        except ConfigError as e:
+            raise _CLIError(str(e)) from None
+        for cell in grid.cells:
+            jobs.append(
+                JobSpec(
+                    workload=cell.workload,
+                    sizes_mb=cell.sizes_mb,
+                    benchmark=cell.label,
+                    machine=cell.machine,
+                    pirate_threads=cell.pirate_threads,
+                    interval_instructions=grid.interval_instructions,
+                    n_intervals=grid.n_intervals,
+                    warmup_instructions=grid.warmup_instructions,
+                    engine=cell.engine,
+                    seed=cell.seed,
+                )
+            )
+    else:
+        if not args.benchmark:
+            raise _CLIError("submit needs a benchmark name or --grid CONFIG")
+        _require_positive(args.interval, "--interval")
+        if args.intervals < 1:
+            raise _CLIError(f"--intervals must be >= 1, got {args.intervals}")
+        if args.threads < 1:
+            raise _CLIError(f"--threads must be >= 1, got {args.threads}")
+        sizes = _parse_sizes(args.sizes)
+        try:
+            jobs.append(
+                JobSpec(
+                    workload=_factory(args.benchmark, args.seed),
+                    sizes_mb=tuple(sizes),
+                    benchmark=args.benchmark,
+                    pirate_threads=args.threads,
+                    interval_instructions=args.interval,
+                    n_intervals=args.intervals,
+                    engine=args.engine,
+                    seed=args.seed,
+                    run_id=args.run_id,
+                )
+            )
+        except ConfigError as e:
+            raise _CLIError(str(e)) from None
+    queued = deduped = cached = 0
+    keys = []
+    try:
+        for job in jobs:
+            reply = client.submit(job)
+            if reply.get("dedup"):
+                deduped += 1
+                tag = "dedup"
+            elif reply.get("cached"):
+                cached += 1
+                tag = "cached"
+            else:
+                queued += 1
+                tag = "queued"
+            out(f"{reply['key'][:12]} {reply['state']:8} {tag}")
+            keys.append(reply["key"])
+        n = len(jobs)
+        hits = deduped + cached
+        out(f"{n} job(s): {queued} queued, {deduped} deduped, {cached} cached")
+        out(f"dedup/cache hits: {hits}/{n} ({100.0 * hits / n:.1f}%)")
+        if args.wait:
+            for key in keys:
+                res = client.wait(key, timeout=3600.0)["result"]
+                s = res["stats"]
+                out(
+                    f"{key[:12]} done measured={s['measured']} "
+                    f"cache={s['cache_hits']} journal={s['journal_hits']} "
+                    f"quarantined={s['quarantined']}"
+                )
+    except (ServiceError, OSError) as e:
+        raise _CLIError(str(e)) from None
+    return 0
+
+
+def cmd_status(args, out=print) -> int:
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.key:
+            reply = client.status(args.key)
+            line = f"{reply['key'][:12]} {reply['state']}"
+            if reply.get("error"):
+                line += f"  error: {reply['error']}"
+            out(line)
+            return 0
+        reply = client.stats()
+        if args.json:
+            out(json.dumps(reply, indent=2, sort_keys=True))
+            return 0
+        s = reply["stats"]
+        out(
+            f"jobs: {s['jobs_submitted']} submitted, {s['jobs_executed']} executed, "
+            f"{s['jobs_deduped']} deduped, {s['jobs_cached']} cached, "
+            f"{s['jobs_failed']} failed, {s['jobs_recovered']} recovered"
+        )
+        out(f"queue depth: {reply['queue_depth']}")
+        store = reply["store"]
+        out(
+            f"store: {store['entries']}/{store['max_entries']} entries, "
+            f"{store['evictions']} evictions"
+        )
+        out(f"uptime: {reply['uptime_s']:.1f}s")
+    except (ServiceError, OSError) as e:
+        raise _CLIError(str(e)) from None
+    return 0
+
+
+def cmd_fetch(args, out=print) -> int:
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        reply = client.fetch(args.key)
+    except (ServiceError, OSError) as e:
+        raise _CLIError(str(e)) from None
+    result = reply["result"]
+    if args.json:
+        out(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    out(f"{result['benchmark']}  engine={result['engine']}  key={reply['key'][:12]}")
+    out(f"{'MB':>8} {'CPI':>8} {'BW GB/s':>8} {'fetch':>8} {'miss':>8}")
+    for row in result["rows"]:
+        out(
+            f"{row['cache_mb']:8.2f} {row['cpi']:8.4f} {row['bandwidth_gbps']:8.3f} "
+            f"{row['fetch_ratio']:8.5f} {row['miss_ratio']:8.5f}"
+        )
+    s = result["stats"]
+    out(
+        f"stats: measured={s['measured']} cache={s['cache_hits']} "
+        f"journal={s['journal_hits']} quarantined={s['quarantined']}"
+    )
+    quality = result.get("quality")
+    if quality:
+        labels = ", ".join(f"{k}={v}" for k, v in sorted(quality.items()))
+        out(f"quality: {labels}")
+    return 0
+
+
+def cmd_watch(args, out=print) -> int:
+    from .service import ServiceError
+
+    client = _service_client(args)
+    if args.since < 0:
+        raise _CLIError(f"--since must be >= 0, got {args.since}")
+    try:
+        for event in client.watch(args.key, since=args.since):
+            out(json.dumps(event, sort_keys=True))
+    except (ServiceError, OSError) as e:
+        raise _CLIError(str(e)) from None
+    return 0
+
+
 def cmd_experiments(args, out=print) -> int:
     from .experiments.runall import main as runall_main
 
@@ -882,6 +1129,81 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", default="", metavar="RUN_ID",
                    help="continue a journaled run, skipping finished experiments")
     p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser(
+        "serve", help="run the curve service: an asyncio sweep server with "
+                      "content-key dedup, an LRU result store and journal resume"
+    )
+    p.add_argument("--socket", default="", metavar="PATH",
+                   help="listen on this unix socket")
+    p.add_argument("--host", default="", help="listen on this TCP host")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, echoed at start)")
+    p.add_argument("--state-dir", required=True,
+                   help="server state root: sweep cache, journals, result store")
+    p.add_argument("--job-workers", type=int, default=2, metavar="N",
+                   help="jobs executing concurrently")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="per-job process fan-out for sweep points (0 = serial)")
+    p.add_argument("--queue-size", type=int, default=64, metavar="N",
+                   help="accepted-but-unstarted job bound (409 beyond)")
+    p.add_argument("--store-max", type=int, default=1024, metavar="N",
+                   help="result-store entries before LRU eviction")
+    p.add_argument("--quota", type=int, default=0, metavar="N",
+                   help="max unfinished jobs per client (429 beyond; 0 = unlimited)")
+    p.add_argument("--point-timeout", type=float, default=None, metavar="SECONDS",
+                   help="supervisor wall-clock budget per sweep point attempt")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit curve jobs to a running service "
+                       "(one benchmark sweep, or every cell of a grid config)"
+    )
+    p.add_argument("benchmark", nargs="?", default=None)
+    p.add_argument("--grid", default="", metavar="CONFIG",
+                   help="submit every cell of this YAML/JSON grid config instead")
+    p.add_argument("--sizes", default="8.0,6.0,4.0,2.0,1.0,0.5",
+                   help="target-available sizes in MB (order pins the journal)")
+    p.add_argument("--interval", type=float, default=1e6)
+    p.add_argument("--intervals", type=int, default=2,
+                   help="measurement intervals per sweep point")
+    p.add_argument("--threads", type=int, default=1, help="pirate thread count")
+    p.add_argument("--engine", choices=("measure", "surrogate", "auto"),
+                   default="measure", help="curve engine tier")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--run-id", default="",
+                   help="adopt this journal run id on the server (default: one "
+                        "derived from the job's content key)")
+    p.add_argument("--client", default="", help="client id for quota accounting")
+    p.add_argument("--wait", action="store_true",
+                   help="block until every submitted job finishes")
+    _add_service_addr(p)
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser(
+        "status", help="one job's state (with KEY) or server-wide stats (without)"
+    )
+    p.add_argument("key", nargs="?", default="", help="job content key")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw stats envelope")
+    _add_service_addr(p)
+    p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("fetch", help="fetch a finished job's curve by content key")
+    p.add_argument("key", help="job content key (from submit)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full result payload as JSON")
+    _add_service_addr(p)
+    p.set_defaults(fn=cmd_fetch)
+
+    p = sub.add_parser(
+        "watch", help="stream a job's progress events as JSON lines"
+    )
+    p.add_argument("key", help="job content key (from submit)")
+    p.add_argument("--since", type=int, default=0, metavar="SEQ",
+                   help="skip events with seq <= SEQ (resume a dropped stream)")
+    _add_service_addr(p)
+    p.set_defaults(fn=cmd_watch)
 
     return parser
 

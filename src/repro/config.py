@@ -10,7 +10,7 @@ tiny variants through the same dataclasses.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 
 from .errors import ConfigError
 from .units import GHZ, KB, LINE_SIZE, MB, bytes_per_cycle, is_pow2
@@ -219,3 +219,55 @@ def tiny_config(
         sample_sets=sample_sets,
         **kwargs,
     )
+
+
+def machine_content_token(config: MachineConfig) -> dict:
+    """Canonical machine description for content keys (caches, journals).
+
+    The ``kernel`` field is execution strategy, not experiment content —
+    scalar and vectorized engines are bit-identical (``tests/test_kernels``)
+    — so it is excluded: a sweep cached or journaled under
+    ``REPRO_KERNEL=vector`` is the same sweep under ``scalar``, and a
+    journal written by one can be resumed by the other.  ``sample_sets``
+    *does* change results and stays in.
+    """
+    token = asdict(config)
+    token.pop("kernel", None)
+    return token
+
+
+def machine_to_dict(config: MachineConfig) -> dict:
+    """The full machine as pure-JSON data (the service wire format).
+
+    Unlike :func:`machine_content_token` this keeps every field — it
+    describes a machine to *construct*, not to key — and round-trips
+    exactly through :func:`machine_from_dict`.
+    """
+    return asdict(config)
+
+
+def machine_from_dict(data: dict) -> MachineConfig:
+    """Rebuild a :class:`MachineConfig` from :func:`machine_to_dict` output.
+
+    Raises :class:`~repro.errors.ConfigError` on structural junk as well as
+    on semantic junk (the dataclass validators run as usual), so a garbled
+    wire payload is one clean error instead of a deep TypeError.
+    """
+    if not isinstance(data, dict):
+        raise ConfigError(f"machine must be a mapping, got {type(data).__name__}")
+    known = {f.name for f in fields(MachineConfig)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ConfigError(f"machine: unknown field(s) {', '.join(map(repr, unknown))}")
+    kwargs = dict(data)
+    try:
+        if "core" in kwargs:
+            kwargs["core"] = CoreConfig(**kwargs["core"])
+        for level in ("l1", "l2", "l3"):
+            if level in kwargs:
+                kwargs[level] = CacheConfig(**kwargs[level])
+        return MachineConfig(**kwargs)
+    except ConfigError:
+        raise
+    except (TypeError, ValueError) as e:
+        raise ConfigError(f"machine: {e}") from None

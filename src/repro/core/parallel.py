@@ -41,7 +41,7 @@ from multiprocessing import get_all_start_methods, get_context
 from pathlib import Path
 from typing import Callable, Sequence
 
-from ..config import MachineConfig
+from ..config import MachineConfig, machine_content_token
 from ..errors import MeasurementError
 from ..faults.plan import FaultPlan
 from ..hardware.counters import CounterSample
@@ -299,7 +299,10 @@ def spec_token(spec: SweepSpec) -> dict:
         )
     return {
         "cache_format": CACHE_FORMAT_VERSION,
-        "machine": asdict(spec.config),
+        # machine_content_token drops the kernel field: scalar and vector
+        # engines are bit-identical, so a point cached (or a journal head
+        # pinned) under one kernel mode must hit under the other.
+        "machine": machine_content_token(spec.config),
         "workload": token_fn(),
         "schedule": {
             "num_pirate_threads": spec.num_pirate_threads,

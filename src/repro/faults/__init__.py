@@ -25,11 +25,14 @@ from .chaos import (
     CHAOS_ENV,
     CHAOS_KILL_EXIT,
     CORRUPTION_MODES,
+    SERVICE_CHAOS_ENV,
     ChaosError,
     ChaosPlan,
+    ServiceChaosPlan,
     apply_chaos,
     chaos_from_env,
     corrupt_cache_entries,
+    service_chaos_from_env,
 )
 from .injectors import (
     CounterGlitchInjector,
@@ -53,11 +56,14 @@ __all__ = [
     "NoisyNeighborWorkload",
     "as_controller",
     "CHAOS_ENV",
+    "SERVICE_CHAOS_ENV",
     "CHAOS_KILL_EXIT",
     "CORRUPTION_MODES",
     "ChaosError",
     "ChaosPlan",
+    "ServiceChaosPlan",
     "apply_chaos",
+    "service_chaos_from_env",
     "chaos_from_env",
     "corrupt_cache_entries",
 ]

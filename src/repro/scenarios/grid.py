@@ -22,11 +22,17 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, replace
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from ..caches.hierarchy import ENGINE_TIERS
-from ..config import POLICIES, MachineConfig, nehalem_config, tiny_config
+from ..config import (
+    POLICIES,
+    MachineConfig,
+    machine_content_token,
+    nehalem_config,
+    tiny_config,
+)
 from ..errors import ConfigError, ReproError
 from ..rng import stable_seed
 from ..units import MB
@@ -275,14 +281,12 @@ def _workload_label(spec: TargetSpec) -> str:
 def _machine_token(config: MachineConfig) -> dict:
     """Canonical machine description for cell content keys.
 
-    The ``kernel`` field is execution strategy, not experiment content —
-    scalar and vector engines are bit-identical — so it is excluded: the
-    same grid compiled under ``REPRO_KERNEL=vector`` keys identically.
-    ``sample_sets`` *does* change results and stays in.
+    Delegates to :func:`repro.config.machine_content_token`, the same
+    helper ``spec_token`` uses for point cache keys and journal head pins,
+    so cell keys and sweep keys can never disagree on what counts as
+    machine content (``kernel`` is execution strategy and is excluded).
     """
-    token = asdict(config)
-    token.pop("kernel")
-    return token
+    return machine_content_token(config)
 
 
 def _canonical_json(obj: object) -> str:

@@ -1,0 +1,227 @@
+"""The client half of the curve service: a tiny blocking HTTP library.
+
+:class:`ServiceClient` speaks the protocol in :mod:`.protocol` over a
+unix socket or TCP, using nothing beyond the socket module — the same
+stdlib-only constraint as the server.  It backs the ``repro
+submit|status|fetch|watch`` CLI and is the library consumers import to
+feed curves into downstream tooling (e.g. a partitioning optimizer).
+
+``watch`` deserves a note: it yields the server's NDJSON progress
+events and, when the stream is cut without a terminal event (network
+chaos, server restart), transparently reconnects with ``since=<last
+seq>`` — the event sequence numbers make delivery exactly-once no
+matter how many times the stream drops.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from collections.abc import Iterator
+from pathlib import Path
+
+from .protocol import PROTOCOL_VERSION, TERMINAL_EVENTS, JobSpec, ServiceError, job_to_wire
+
+_RECV = 65536
+
+
+class ServiceClient:
+    """A blocking client bound to one server address.
+
+    Address one of two ways: ``socket_path`` for a unix socket (tests,
+    CI, same-host tooling) or ``host``/``port`` for TCP.  Every method
+    opens a fresh connection — the server closes after each response, so
+    there is deliberately no connection state to manage or corrupt.
+    """
+
+    def __init__(
+        self,
+        *,
+        socket_path: str | Path | None = None,
+        host: str | None = None,
+        port: int = 0,
+        timeout: float = 60.0,
+        client_id: str = "",
+    ):
+        if socket_path is None and host is None:
+            raise ServiceError("client needs a unix socket path or a host/port")
+        self.socket_path = str(socket_path) if socket_path is not None else None
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.client_id = client_id
+
+    # -- transport ------------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+            return sock
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        return sock
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        """One request/response round trip; raises ServiceError on !ok."""
+        raw = self._raw_request(method, path, body)
+        _, payload = raw
+        data = json.loads(payload.decode() or "{}")
+        if not isinstance(data, dict) or data.get("protocol") != PROTOCOL_VERSION:
+            raise ServiceError(f"unexpected response on {path}: {data!r}")
+        if not data.get("ok", False):
+            raise ServiceError(
+                data.get("error", "request failed"),
+                status=int(data.get("status", 400)),
+            )
+        return data
+
+    def _raw_request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, bytes]:
+        blob = json.dumps(body).encode() if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            "Host: repro\r\n"
+            f"Content-Length: {len(blob)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        with self._connect() as sock:
+            sock.sendall(head.encode() + blob)
+            data = b""
+            while True:
+                chunk = sock.recv(_RECV)
+                if not chunk:
+                    break
+                data += chunk
+        return self._split_response(data, path)
+
+    @staticmethod
+    def _split_response(data: bytes, path: str) -> tuple[int, bytes]:
+        head, sep, payload = data.partition(b"\r\n\r\n")
+        if not sep:
+            raise ServiceError(f"short response on {path}")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        parts = status_line.split()
+        status = int(parts[1]) if len(parts) > 1 and parts[1].isdigit() else 0
+        return status, payload
+
+    # -- protocol verbs -------------------------------------------------------------
+
+    def submit(self, job: JobSpec) -> dict:
+        """Submit one job; returns the submit envelope (key, state, dedup)."""
+        return self._request(
+            "POST", "/v1/submit", {"job": job_to_wire(job), "client": self.client_id}
+        )
+
+    def status(self, key: str) -> dict:
+        """One job's lifecycle state."""
+        return self._request("GET", f"/v1/status/{key}")
+
+    def fetch(self, key: str) -> dict:
+        """A finished job's full result envelope (409 while running)."""
+        return self._request("GET", f"/v1/fetch/{key}")
+
+    def stats(self) -> dict:
+        """Server-wide counters, queue depth, and store occupancy."""
+        return self._request("GET", "/v1/stats")
+
+    def health(self) -> dict:
+        """Liveness probe."""
+        return self._request("GET", "/v1/healthz")
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop (used by tests and ops tooling)."""
+        return self._request("POST", "/v1/shutdown")
+
+    def watch(
+        self, key: str, *, since: int = 0, reconnect: bool = True
+    ) -> Iterator[dict]:
+        """Yield a job's progress events; stops after a terminal event.
+
+        ``since`` skips events with seq <= since (resuming a dropped
+        stream); with ``reconnect`` the client re-dials automatically
+        when the server cuts the stream early, so callers see every
+        event exactly once even under connection chaos.
+        """
+        last_seq = since
+        while True:
+            saw_terminal, last_seq, events = self._watch_once(key, last_seq)
+            yield from events
+            if saw_terminal or not reconnect:
+                return
+            if not events:
+                time.sleep(0.05)  # server mid-restart: back off briefly
+
+    def _watch_once(self, key: str, since: int):
+        """One watch connection; returns (saw_terminal, last_seq, events).
+
+        A generator-free helper so :meth:`watch` can own the reconnect
+        policy while the event parse lives in one place.
+        """
+        events: list[dict] = []
+        saw_terminal = False
+        last_seq = since
+        with self._connect() as sock:
+            head = (
+                f"GET /v1/watch/{key}?since={since} HTTP/1.1\r\n"
+                "Host: repro\r\nConnection: close\r\n\r\n"
+            )
+            sock.sendall(head.encode())
+            buffer = b""
+            header_done = False
+            while True:
+                try:
+                    chunk = sock.recv(_RECV)
+                except TimeoutError:
+                    break
+                if not chunk:
+                    break
+                buffer += chunk
+                if not header_done:
+                    head_blob, sep, rest = buffer.partition(b"\r\n\r\n")
+                    if not sep:
+                        continue
+                    status_line = head_blob.split(b"\r\n", 1)[0].decode("latin-1")
+                    parts = status_line.split()
+                    status = int(parts[1]) if len(parts) > 1 else 0
+                    if status != 200:
+                        body = rest
+                        while True:
+                            chunk = sock.recv(_RECV)
+                            if not chunk:
+                                break
+                            body += chunk
+                        data = json.loads(body.decode() or "{}")
+                        raise ServiceError(
+                            data.get("error", f"watch failed ({status})"),
+                            status=status,
+                        )
+                    header_done = True
+                    buffer = rest
+                while b"\n" in buffer:
+                    line, _, buffer = buffer.partition(b"\n")
+                    if not line.strip():
+                        continue
+                    event = json.loads(line.decode())
+                    if event.get("seq", 0) <= last_seq:
+                        continue
+                    last_seq = event["seq"]
+                    events.append(event)
+                    if event.get("type") in TERMINAL_EVENTS:
+                        saw_terminal = True
+                if saw_terminal:
+                    break
+        return saw_terminal, last_seq, events
+
+    def wait(self, key: str, *, timeout: float = 300.0) -> dict:
+        """Watch until terminal, then fetch; the simple blocking consumer."""
+        deadline = time.monotonic() + timeout
+        for _ in self.watch(key):
+            if time.monotonic() > deadline:
+                raise ServiceError(f"timed out waiting for job {key!r}")
+        status = self.status(key)
+        if status.get("state") == "failed":
+            raise ServiceError(f"job failed: {status.get('error', '')}", status=409)
+        return self.fetch(key)

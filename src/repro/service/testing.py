@@ -1,0 +1,79 @@
+"""An in-process server harness for tests and golden scenarios.
+
+:class:`ServerThread` runs a :class:`~repro.service.server.SweepServer`
+on its own event loop in a daemon thread, bound to a unix socket, and
+tears it down deterministically — so the async service can be exercised
+from plain synchronous pytest functions (and the ``service`` golden)
+without subprocess management.  Tests that need a *killable* server
+(SIGKILL resume coverage) spawn ``repro serve`` as a subprocess instead;
+this harness is for everything else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from pathlib import Path
+
+from ..errors import ReproError
+from .client import ServiceClient
+from .server import SweepServer
+
+
+class ServerThread:
+    """A live server on a unix socket, scoped with ``with``.
+
+    ``server_kwargs`` pass through to :class:`SweepServer` (queue bounds,
+    quotas, store caps, worker counts).  The constructor blocks until the
+    socket is accepting, so a client built from :attr:`client` works
+    immediately.
+    """
+
+    def __init__(self, state_dir: str | Path, socket_path: str | Path, **server_kwargs):
+        self.state_dir = Path(state_dir)
+        self.socket_path = Path(socket_path)
+        self.server = SweepServer(self.state_dir, **server_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise ReproError("service test server failed to start in 30s")
+        if self._error is not None:
+            raise ReproError(f"service test server failed: {self._error}")
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.server.start(socket_path=self.socket_path)
+        except BaseException as e:  # startup failure must unblock the ctor
+            self._error = e
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.server.serve_forever()
+
+    def client(self, client_id: str = "", timeout: float = 120.0) -> ServiceClient:
+        """A fresh client bound to this server's socket."""
+        return ServiceClient(
+            socket_path=self.socket_path, client_id=client_id, timeout=timeout
+        )
+
+    def stop(self) -> None:
+        """Stop the server and join its thread (idempotent)."""
+        if self._loop is not None and self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop
+            ).result(timeout=30.0)
+        self._thread.join(timeout=30.0)
+        self._loop = None
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -153,6 +153,55 @@ def grid_scenario(workers: int = 0) -> dict:
     }
 
 
+def service_scenario() -> dict:
+    """One scripted service session, every envelope and event pinned.
+
+    Locks the wire protocol down as data: the health/submit/status/fetch
+    envelopes, the full watch event stream (types, seqs, states), the
+    dedup reply for a resubmit, and the stats counters after a known
+    sequence of requests.  Volatile wall-clock fields are zeroed by
+    :func:`~repro.service.normalize_envelope`; everything else — content
+    keys, run ids, rows, stats — is a pure function of the job spec, so
+    any protocol change shows up here as an explainable diff.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.service import JobSpec, ServerThread, normalize_envelope
+    from repro.workloads import TargetSpec
+
+    job = JobSpec(
+        workload=TargetSpec(kind="micro.random", working_set_mb=1.0, seed=7),
+        sizes_mb=(2.0, 8.0),
+        benchmark="golden.service",
+        interval_instructions=40_000.0,
+        n_intervals=1,
+        seed=11,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        with ServerThread(root / "state", root / "svc.sock") as srv:
+            client = srv.client(client_id="golden")
+            health = client.health()
+            submitted = client.submit(job)
+            fetched = client.wait(submitted["key"])
+            events = list(client.watch(submitted["key"]))
+            status = client.status(submitted["key"])
+            resubmitted = client.submit(job)
+            stats = client.stats()
+    return normalize_envelope(
+        {
+            "health": health,
+            "submit": submitted,
+            "events": events,
+            "status": status,
+            "resubmit": resubmitted,
+            "fetch": fetched,
+            "stats": stats,
+        }
+    )
+
+
 #: golden file stem -> scenario builder
 SCENARIOS = {
     "fixed_curve": fixed_curve_scenario,
@@ -161,4 +210,5 @@ SCENARIOS = {
     "conformance": conformance_scenario,
     "surrogate": surrogate_scenario,
     "grid": grid_scenario,
+    "service": service_scenario,
 }

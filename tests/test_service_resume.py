@@ -1,0 +1,347 @@
+"""Journal head pinning: the CLI and the server must agree, and survive kills.
+
+``repro sweep --journal-dir/--resume`` and the service both pin a run
+journal to :func:`sweep_spec_sha`.  These tests prove the two paths
+agree in both directions — a journal written by the batch CLI resumes
+under the server and vice versa — plus the regression for the bug that
+used to break that promise: ``spec_token`` hashed the machine's
+``kernel`` field (execution strategy, bit-identical by proof) into cache
+keys and journal pins while the grid compiler excluded it, so a journal
+written under ``REPRO_KERNEL=vector`` refused to resume under scalar.
+The SIGKILL test then drives the whole story end to end: a real server
+killed mid-sweep, restarted, and resumed with zero re-measured points.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.config import machine_content_token, nehalem_config
+from repro.core.journal import JournalState, journal_path, read_journal_records
+from repro.core.parallel import (
+    SweepSpec,
+    point_cache_key,
+    spec_token,
+    sweep_points,
+    sweep_spec_sha,
+)
+from repro.core.supervisor import run_sweep_supervised
+from repro.scenarios.grid import _machine_token
+from repro.service import JobSpec, ServiceClient, job_key, job_run_id
+from repro.service.server import SERVICE_JOURNAL
+from repro.workloads import TargetSpec
+
+WS = TargetSpec(kind="micro.random", working_set_mb=1.0, seed=7)
+SIZES = [8.0, 2.0]
+
+
+def tiny_job(**overrides) -> JobSpec:
+    defaults = dict(
+        workload=WS,
+        sizes_mb=tuple(SIZES),
+        benchmark="svc.resume",
+        interval_instructions=40_000.0,
+        n_intervals=1,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+def batch_spec(job: JobSpec) -> SweepSpec:
+    return job.sweep_spec()
+
+
+# -- the kernel-field regression ---------------------------------------------------
+
+
+def test_spec_token_excludes_kernel():
+    """scalar/vector/auto engines share cache keys and journal pins."""
+    job = tiny_job()
+    tokens = set()
+    shas = set()
+    keys = set()
+    for kernel in ("auto", "scalar", "vector"):
+        spec = replace(batch_spec(job), config=nehalem_config(kernel=kernel))
+        tokens.add(json.dumps(spec_token(spec), sort_keys=True))
+        shas.add(sweep_spec_sha(spec, SIZES))
+        keys.add(point_cache_key(spec, sweep_points(spec, SIZES)[0]))
+    assert len(tokens) == 1
+    assert len(shas) == 1
+    assert len(keys) == 1
+
+
+def test_spec_token_still_keys_sample_sets():
+    """sample_sets changes results, so it must stay in the content key."""
+    job = tiny_job()
+    a = replace(batch_spec(job), config=nehalem_config(sample_sets=1))
+    b = replace(batch_spec(job), config=nehalem_config(sample_sets=8))
+    assert sweep_spec_sha(a, SIZES) != sweep_spec_sha(b, SIZES)
+
+
+def test_machine_content_token_shared_by_grid_and_sweeps():
+    """One helper defines machine content for cells, caches, and journals."""
+    config = nehalem_config(kernel="vector")
+    token = machine_content_token(config)
+    assert "kernel" not in token
+    assert token == _machine_token(config)
+    assert spec_token(batch_spec(tiny_job()))["machine"] == machine_content_token(
+        nehalem_config()
+    )
+
+
+def test_journal_written_under_vector_resumes_under_scalar(tmp_path):
+    """The user-facing consequence of the fix, end to end."""
+    job = tiny_job()
+    vector = replace(batch_spec(job), config=nehalem_config(kernel="vector"))
+    scalar = replace(batch_spec(job), config=nehalem_config(kernel="scalar"))
+    results_v, stats_v = run_sweep_supervised(
+        vector, SIZES, journal_dir=tmp_path, run_id="xkernel"
+    )
+    assert stats_v.measured == len(SIZES)
+    results_s, stats_s = run_sweep_supervised(
+        scalar, SIZES, journal_dir=tmp_path, run_id="xkernel", resume=True
+    )
+    assert stats_s.measured == 0
+    assert stats_s.journal_hits == len(SIZES)
+    assert [r.samples for r in sorted(results_s, key=lambda r: r.index)] == [
+        r.samples for r in sorted(results_v, key=lambda r: r.index)
+    ]
+
+
+# -- CLI <-> server agreement ------------------------------------------------------
+
+
+def test_cli_journal_resumes_under_server(tmp_path):
+    """A journal written by ``repro sweep`` machinery resumes server-side."""
+    from repro.service import ServerThread
+
+    job = tiny_job(run_id="handoff")
+    state = tmp_path / "state"
+    journals = state / "journals"
+    # the batch path: exactly what cmd_sweep does with --journal-dir
+    results, stats = run_sweep_supervised(
+        batch_spec(job),
+        SIZES,
+        journal_dir=journals,
+        run_id="handoff",
+    )
+    assert stats.measured == len(SIZES)
+    with ServerThread(state, tmp_path / "svc.sock") as srv:
+        client = srv.client()
+        reply = client.submit(job)
+        result = client.wait(reply["key"])["result"]
+    assert result["stats"]["measured"] == 0
+    assert result["stats"]["journal_hits"] == len(SIZES)
+    assert result["stats"]["run_id"] == "handoff"
+
+
+def test_server_journal_resumes_under_cli(tmp_path):
+    """The reverse direction: the server's journal feeds ``--resume``."""
+    from repro.service import ServerThread
+
+    job = tiny_job()
+    key = job_key(job)
+    state = tmp_path / "state"
+    with ServerThread(state, tmp_path / "svc.sock") as srv:
+        client = srv.client()
+        baseline = client.wait(client.submit(job)["key"])["result"]["rows"]
+    run_id = job_run_id(key)
+    assert journal_path(state / "journals", run_id).exists()
+    # what cmd_sweep --resume does with the same spec
+    results, stats = run_sweep_supervised(
+        batch_spec(job),
+        SIZES,
+        journal_dir=state / "journals",
+        run_id=run_id,
+        resume=True,
+    )
+    assert stats.measured == 0
+    assert stats.journal_hits == len(SIZES)
+    from repro.analysis.merge import assemble_curve
+
+    rows = assemble_curve(
+        "svc.resume", results, nehalem_config().core.clock_hz
+    ).to_rows()
+    assert rows == baseline
+
+
+def test_server_refuses_foreign_journal_under_user_run_id(tmp_path):
+    """A user-supplied run id pinning a different sweep fails loudly."""
+    from repro.service import ServerThread
+
+    other = tiny_job(seed=99)
+    state = tmp_path / "state"
+    run_sweep_supervised(
+        batch_spec(other), SIZES, journal_dir=state / "journals", run_id="stolen"
+    )
+    with ServerThread(state, tmp_path / "svc.sock") as srv:
+        client = srv.client()
+        job = tiny_job(run_id="stolen")  # same run id, different content
+        key = client.submit(job)["key"]
+        events = list(client.watch(key))
+        assert events[-1]["type"] == "failed"
+        assert "refusing to resume" in events[-1]["error"]
+    # the foreign journal was not deleted
+    assert journal_path(state / "journals", "stolen").exists()
+
+
+def test_torn_headless_job_journal_restarts_clean(tmp_path):
+    """A journal torn before its head landed is discarded, not fatal."""
+    from repro.service import ServerThread
+
+    job = tiny_job()
+    state = tmp_path / "state"
+    journals = state / "journals"
+    journals.mkdir(parents=True)
+    run_id = job_run_id(job_key(job))
+    journal_path(journals, run_id).write_text('{"type": "point", "ind')  # torn
+    with ServerThread(state, tmp_path / "svc.sock") as srv:
+        client = srv.client()
+        result = client.wait(client.submit(job)["key"])["result"]
+    assert result["stats"]["measured"] == len(SIZES)
+    assert result["stats"]["journal_hits"] == 0
+
+
+# -- SIGKILL the server mid-sweep --------------------------------------------------
+
+
+def _submit_over_socket(sock_path: Path, job: JobSpec, timeout: float = 30.0) -> str:
+    client = ServiceClient(socket_path=sock_path, timeout=timeout)
+    return client.submit(job)["key"]
+
+
+def _wait_for_socket(sock_path: Path, deadline_s: float = 30.0) -> None:
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if sock_path.exists():
+            try:
+                probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                probe.connect(str(sock_path))
+                probe.close()
+                return
+            except OSError:
+                pass
+        time.sleep(0.05)
+    raise AssertionError(f"server socket {sock_path} never came up")
+
+
+def _serve_cmd(sock: Path, state: Path) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--socket",
+        str(sock),
+        "--state-dir",
+        str(state),
+        "--job-workers",
+        "1",
+    ]
+
+
+@pytest.mark.slow
+def test_sigkill_server_mid_sweep_then_restart_resumes(tmp_path):
+    """Kill -9 a real server mid-sweep; the restart re-executes nothing done.
+
+    The acceptance criterion in full: after SIGKILL, a fresh server on the
+    same state dir recovers the orphaned job from the service journal,
+    resumes its run journal, replays every completed point
+    (``journal_hits == done-at-kill``), measures only the remainder, and
+    serves rows bit-identical to an undisturbed batch run.
+    """
+    sock = tmp_path / "svc.sock"
+    state = tmp_path / "state"
+    env = dict(os.environ, PYTHONPATH=str(Path("src").resolve()))
+    # six points at a long interval: plenty of wall-clock to aim the kill
+    job = tiny_job(
+        sizes_mb=(8.0, 6.0, 4.0, 2.0, 1.0, 0.5),
+        interval_instructions=150_000.0,
+        benchmark="svc.kill",
+    )
+    key = job_key(job)
+    run_id = job_run_id(key)
+    jpath = journal_path(state / "journals", run_id)
+
+    proc = subprocess.Popen(
+        _serve_cmd(sock, state), env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        _wait_for_socket(sock)
+        assert _submit_over_socket(sock, job) == key
+        # kill the moment the run journal shows >= 1 finished point
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if jpath.exists() and any(
+                r.get("state") == "done" for r in read_journal_records(jpath)
+            ):
+                break
+            time.sleep(0.01)
+        else:
+            raise AssertionError("server never journaled a finished point")
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    state_at_kill = JournalState.load(state / "journals", run_id)
+    done_at_kill = {
+        i for i, s in state_at_kill.states.items() if s == "done"
+    }
+    assert done_at_kill, "kill landed before any point finished"
+    assert len(done_at_kill) < len(job.sizes_mb), "kill landed after the sweep"
+    # the service journal still says submitted (never done): an orphan
+    records = [
+        r
+        for r in read_journal_records(state / "journals" / SERVICE_JOURNAL)
+        if r.get("key") == key
+    ]
+    assert records and records[-1]["state"] == "submitted"
+
+    proc = subprocess.Popen(
+        _serve_cmd(sock, state), env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        _wait_for_socket(sock)
+        client = ServiceClient(socket_path=sock, timeout=30.0)
+        result = client.wait(key, timeout=240.0)["result"]
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+    # zero re-executed completed points
+    assert result["stats"]["journal_hits"] == len(done_at_kill)
+    assert result["stats"]["measured"] == len(job.sizes_mb) - len(done_at_kill)
+    assert result["stats"]["quarantined"] == 0
+    # and the curve is bit-identical to an undisturbed batch run
+    from repro.core import measure_curve_fixed
+
+    batch = measure_curve_fixed(
+        WS,
+        list(job.sizes_mb),
+        benchmark="svc.kill",
+        interval_instructions=150_000.0,
+        n_intervals=1,
+        seed=11,
+    )
+    assert result["rows"] == batch.to_rows()
+    # exactly one done record per pre-kill point: nothing ran twice
+    per_index = {}
+    for r in read_journal_records(jpath):
+        if r.get("type") == "point" and r.get("state") == "done":
+            per_index[r["index"]] = per_index.get(r["index"], 0) + 1
+    for index in done_at_kill:
+        assert per_index[index] == 1

@@ -1,0 +1,107 @@
+"""Multi-tenant soak: many clients, few distinct curves, nothing lost.
+
+Four client threads fire twenty submissions each at one server, drawn
+from eight distinct tiny specs in seeded-shuffled order, racing dedup
+against execution the whole time.  The acceptance bar is strict
+bookkeeping: every distinct spec executes exactly once, every
+submission is accounted for as queued/dedup/cached, every fetch is
+bit-identical to the batch engine, and the server loses nothing.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core import measure_curve_fixed
+from repro.service import JobSpec, ServerThread, job_key
+from repro.workloads import TargetSpec
+
+N_CLIENTS = 4
+N_SUBMITS = 20  # per client
+N_SPECS = 8
+
+
+def soak_specs() -> list[JobSpec]:
+    """Eight distinct one-point jobs (seed is the distinguishing content)."""
+    return [
+        JobSpec(
+            workload=TargetSpec(kind="micro.random", working_set_mb=1.0, seed=7),
+            sizes_mb=(2.0,),
+            benchmark=f"svc.soak.{seed}",
+            interval_instructions=30_000.0,
+            n_intervals=1,
+            seed=seed,
+        )
+        for seed in range(N_SPECS)
+    ]
+
+
+@pytest.mark.slow
+def test_multi_client_soak_nothing_lost_nothing_duplicated(tmp_path):
+    jobs = soak_specs()
+    keys = {job_key(job) for job in jobs}
+    assert len(keys) == N_SPECS  # the specs really are distinct content
+
+    expected = {
+        job_key(job): measure_curve_fixed(
+            job.workload,
+            list(job.sizes_mb),
+            benchmark=job.benchmark,
+            interval_instructions=job.interval_instructions,
+            n_intervals=job.n_intervals,
+            seed=job.seed,
+        ).to_rows()
+        for job in jobs
+    }
+
+    results: dict[int, dict] = {}
+    errors: list[BaseException] = []
+
+    def soak_client(client_no: int, server: ServerThread) -> None:
+        try:
+            rng = random.Random(1000 + client_no)
+            client = server.client(client_id=f"tenant-{client_no}")
+            plan = [jobs[rng.randrange(N_SPECS)] for _ in range(N_SUBMITS)]
+            submitted = []
+            for job in plan:
+                reply = client.submit(job)
+                assert reply["ok"], reply
+                submitted.append(reply["key"])
+            fetched = {}
+            for key in dict.fromkeys(submitted):  # unique, order-preserving
+                fetched[key] = client.wait(key, timeout=600.0)["result"]
+            results[client_no] = {"submitted": submitted, "fetched": fetched}
+        except BaseException as e:  # surface thread failures to pytest
+            errors.append(e)
+
+    with ServerThread(
+        tmp_path / "state", tmp_path / "svc.sock", job_workers=2, queue_size=256
+    ) as srv:
+        threads = [
+            threading.Thread(target=soak_client, args=(i, srv), daemon=True)
+            for i in range(N_CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=900.0)
+        assert not any(t.is_alive() for t in threads), "soak client wedged"
+        assert not errors, errors
+        stats = srv.server.stats
+
+    # nothing lost: every submission was accepted and every fetch answered
+    total_submits = sum(len(r["submitted"]) for r in results.values())
+    assert total_submits == N_CLIENTS * N_SUBMITS
+    # nothing duplicated: each distinct spec executed exactly once
+    assert stats["jobs_executed"] == N_SPECS
+    assert stats["jobs_failed"] == 0
+    assert stats["jobs_submitted"] == total_submits
+    # every non-executing submission was answered from dedup or cache
+    assert stats["jobs_deduped"] + stats["jobs_cached"] == total_submits - N_SPECS
+    # every fetch, from every tenant, is bit-identical to the batch engine
+    for r in results.values():
+        assert set(r["submitted"]) <= keys
+        for key, result in r["fetched"].items():
+            assert result["rows"] == expected[key]
+            assert result["stats"]["quarantined"] == 0
