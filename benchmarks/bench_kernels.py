@@ -44,6 +44,7 @@ import pytest
 
 from repro.caches.hierarchy import CacheHierarchy
 from repro.config import nehalem_config
+from repro.kernels import BatchedL3Bank
 from repro.units import MB
 from repro.workloads import make_benchmark
 
@@ -135,6 +136,62 @@ def _time_modes(runner, repeats: int) -> dict:
     return result
 
 
+def _run_batched_sweep(chunks: list[np.ndarray], repeats: int) -> dict:
+    """The tentpole bench: every pirate size of a sweep in one stream pass.
+
+    A stolen-size sweep replays the same target-side stream against N L3
+    configurations (way-stealing: same sets, fewer ways per size).  The
+    baseline is the per-size vectorized path — N independent banks, N
+    passes; the contender is :class:`BatchedL3Bank` — one size-stacked bank,
+    one pass (C lowering when a compiler is present).  Counters are asserted
+    equal before any timing is reported.
+    """
+    from dataclasses import replace as _dc_replace
+
+    l3 = nehalem_config().l3
+    configs = [l3.with_ways(w) for w in range(4, 4 + 12)]  # 12 sweep sizes
+
+    def fingerprint(stats_list):
+        return [
+            (s.l3_hits, s.l3_misses, s.l3_fetches, s.dram_writeback_lines)
+            for s in stats_list
+        ]
+
+    per_size_times, batched_times = [], []
+    fp_per_size = fp_batched = None
+    lowering = "python"
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        totals = []
+        for cfg in configs:
+            mc = _dc_replace(nehalem_config(kernel="vector"), l3=cfg)
+            hier = CacheHierarchy(mc)
+            for pl in chunks:
+                hier.access_chunk(1, pl, None, bypass_private=True)
+            totals.append(hier.totals[1])
+        per_size_times.append(time.perf_counter() - t0)
+        fp_per_size = fingerprint(totals)
+
+        t0 = time.perf_counter()
+        bank = BatchedL3Bank(configs)
+        lowering = bank.lowering
+        for pl in chunks:
+            bank.access_chunk(pl)
+        batched_times.append(time.perf_counter() - t0)
+        fp_batched = fingerprint(bank.totals)
+    if fp_per_size != fp_batched:
+        raise AssertionError("batched bank disagrees with the per-size engine")
+    per_size = min(per_size_times)
+    batched = min(batched_times)
+    return {
+        "n_sizes": len(configs),
+        "per_size_vector_s": round(per_size, 4),
+        "batched_s": round(batched, 4),
+        "batched_speedup": round(per_size / batched, 3),
+        "lowering": lowering,
+    }
+
+
 def collect(quick: bool = True) -> dict:
     """Time every microbench; returns the ``BENCH_kernels.json`` payload."""
     n = 40 if quick else 150
@@ -152,6 +209,7 @@ def collect(quick: bool = True) -> dict:
         "fig4_seq": _time_modes(
             lambda mode, ss: _run_corun(mode, ss, seq, pirates), repeats
         ),
+        "batched_sweep": _run_batched_sweep(pirates, repeats),
     }
     return {
         "meta": {
@@ -174,6 +232,13 @@ def collect(quick: bool = True) -> dict:
 def test_kernel_microbenches(run_once):
     payload = run_once(collect, True)
     for name, bench in payload["benches"].items():
+        if name == "batched_sweep":
+            print(
+                f"{name}: per-size vector {bench['per_size_vector_s']}s  "
+                f"batched[{bench['lowering']}] {bench['batched_s']}s "
+                f"({bench['batched_speedup']}x, {bench['n_sizes']} sizes)"
+            )
+            continue
         print(
             f"{name}: scalar {bench['scalar_s']}s  "
             f"auto {bench['auto_s']}s ({bench['auto_speedup']}x)  "
@@ -183,6 +248,7 @@ def test_kernel_microbenches(run_once):
     # timing floors are CI's perf-smoke business; here only sanity-check
     # that the L3 kernel actually engaged on its home-turf bench
     assert payload["benches"]["pirate_sweep"]["vector_speedup"] > 1.0
+    assert payload["benches"]["batched_sweep"]["batched_speedup"] > 1.0
 
 
 # -- script mode --------------------------------------------------------------
@@ -195,6 +261,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--min-speedup", type=float, default=None, metavar="X",
         help="fail unless the Pirate-sweep vectorized speedup is >= X",
+    )
+    parser.add_argument(
+        "--min-batched-speedup", type=float, default=None, metavar="X",
+        help="fail unless the batched-sweep speedup is >= X (enforced only "
+        "under the C lowering; the pure-Python fallback is correctness, "
+        "not performance)",
     )
     args = parser.parse_args(argv)
     payload = collect(quick=args.quick)
@@ -213,6 +285,24 @@ def main(argv=None) -> int:
             )
             return 1
         print(f"ok pirate_sweep vectorized speedup {got}x >= {args.min_speedup}x")
+    if args.min_batched_speedup is not None:
+        bench = payload["benches"]["batched_sweep"]
+        if bench["lowering"] != "c":
+            print(
+                f"skip batched-sweep floor: lowering is {bench['lowering']!r} "
+                "(no C compiler on this runner)"
+            )
+        elif bench["batched_speedup"] < args.min_batched_speedup:
+            print(
+                f"FAIL batched_sweep speedup {bench['batched_speedup']}x "
+                f"< required {args.min_batched_speedup}x"
+            )
+            return 1
+        else:
+            print(
+                f"ok batched_sweep speedup {bench['batched_speedup']}x "
+                f">= {args.min_batched_speedup}x"
+            )
     return 0
 
 

@@ -41,12 +41,24 @@ def main(argv: list[str] | None = None) -> int:
         "--check-speedup", type=float, default=None, metavar="X",
         help="fail unless the Pirate-sweep vectorized speedup is >= X",
     )
+    parser.add_argument(
+        "--check-batched-speedup", type=float, default=None, metavar="X",
+        help="fail unless the batched-sweep speedup is >= X "
+        "(only enforced under the C lowering)",
+    )
     args = parser.parse_args(argv)
     payload = collect(quick=args.quick)
     payload["surrogate_curve"] = collect_surrogate(quick=args.quick)
     Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.out}")
     for name, bench in payload["benches"].items():
+        if name == "batched_sweep":
+            print(
+                f"  {name}: per-size vector {bench['per_size_vector_s']}s  "
+                f"batched[{bench['lowering']}] {bench['batched_s']}s "
+                f"({bench['batched_speedup']}x, {bench['n_sizes']} sizes)"
+            )
+            continue
         print(
             f"  {name}: scalar {bench['scalar_s']}s  auto {bench['auto_s']}s "
             f"({bench['auto_speedup']}x)  vector {bench['vector_s']}s "
@@ -65,6 +77,23 @@ def main(argv: list[str] | None = None) -> int:
             print(f"FAIL pirate_sweep speedup {got}x < {args.check_speedup}x")
             return 1
         print(f"ok pirate_sweep speedup {got}x >= {args.check_speedup}x")
+    if args.check_batched_speedup is not None:
+        bench = payload["benches"]["batched_sweep"]
+        if bench["lowering"] != "c":
+            print(
+                f"skip batched-sweep floor: lowering is {bench['lowering']!r}"
+            )
+        elif bench["batched_speedup"] < args.check_batched_speedup:
+            print(
+                f"FAIL batched_sweep speedup {bench['batched_speedup']}x "
+                f"< {args.check_batched_speedup}x"
+            )
+            return 1
+        else:
+            print(
+                f"ok batched_sweep speedup {bench['batched_speedup']}x "
+                f">= {args.check_batched_speedup}x"
+            )
     return 0
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -42,7 +43,19 @@ def main(argv: list[str] | None = None) -> int:
         help="verify goldens match recomputed scenarios; write nothing, "
         "exit 1 on drift",
     )
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        metavar="MODE",
+        help="force a simulation-kernel mode (scalar/vector/batch/auto) for "
+        "every scenario via REPRO_KERNEL; with --check this proves the "
+        "chosen engine reproduces the checked-in goldens bit-for-bit",
+    )
     args = parser.parse_args(argv)
+    if args.kernel is not None:
+        # scenario configs are built lazily inside each build(), so setting
+        # the env here reaches every MachineConfig construction site
+        os.environ["REPRO_KERNEL"] = args.kernel
 
     out_dir = REPO / "tests" / "goldens"
     out_dir.mkdir(parents=True, exist_ok=True)

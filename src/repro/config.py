@@ -19,7 +19,7 @@ from .units import GHZ, KB, LINE_SIZE, MB, bytes_per_cycle, is_pow2
 POLICIES = ("lru", "nru", "plru", "random")
 
 #: Simulation-kernel modes accepted by :class:`MachineConfig`.
-KERNEL_MODES = ("auto", "scalar", "vector")
+KERNEL_MODES = ("auto", "scalar", "vector", "batch")
 
 
 def _default_kernel() -> str:
@@ -135,8 +135,13 @@ class MachineConfig:
     #: Simulation-kernel selection: ``auto`` picks the vectorized numpy
     #: kernels (:mod:`repro.kernels`) per chunk when they are profitable,
     #: ``vector`` forces them wherever they apply, ``scalar`` keeps the
-    #: interpreter loops.  All modes are bit-identical; ``REPRO_KERNEL``
-    #: overrides the default process-wide.
+    #: interpreter loops, and ``batch`` is ``vector`` plus the opt-in C
+    #: lowering of the sequential L3 paths (:mod:`repro.kernels.cext`;
+    #: pure-Python fallback when no compiler is available) and batched
+    #: sweep execution (:mod:`repro.kernels.batchkernel`,
+    #: single-job collapse in :func:`repro.core.parallel.run_sweep`).
+    #: All modes are bit-identical; ``REPRO_KERNEL`` overrides the
+    #: default process-wide.
     kernel: str = field(default_factory=_default_kernel)
     #: Shared-L3 set sampling: simulate every Nth L3 set and rescale the L3
     #: counter deltas by N (1 = exact).  A statistical speed/accuracy trade
@@ -225,11 +230,12 @@ def machine_content_token(config: MachineConfig) -> dict:
     """Canonical machine description for content keys (caches, journals).
 
     The ``kernel`` field is execution strategy, not experiment content —
-    scalar and vectorized engines are bit-identical (``tests/test_kernels``)
-    — so it is excluded: a sweep cached or journaled under
-    ``REPRO_KERNEL=vector`` is the same sweep under ``scalar``, and a
-    journal written by one can be resumed by the other.  ``sample_sets``
-    *does* change results and stays in.
+    scalar, vectorized and batched/C engines are bit-identical
+    (``tests/test_kernels``, ``tests/test_batchkernel``) — so it is
+    excluded: a sweep cached or journaled under ``REPRO_KERNEL=vector``
+    (or ``batch``) is the same sweep under ``scalar``, and a journal
+    written by one can be resumed by any other.  ``sample_sets`` *does*
+    change results and stays in.
     """
     token = asdict(config)
     token.pop("kernel", None)

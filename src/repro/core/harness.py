@@ -86,6 +86,7 @@ def measure_fixed_size(
     quantum: float | None = None,
     fault_plan=None,
     telemetry=None,
+    router_key: str | None = None,
 ) -> FixedSizeResult:
     """Co-run Target and Pirate with a fixed stolen size; measure intervals.
 
@@ -99,6 +100,11 @@ def measure_fixed_size(
     installs a :mod:`repro.faults` plan (or ready controller) on the machine.
     ``telemetry`` records warm-up/settle/interval spans and interval-validity
     metrics; it observes only — no measured value depends on it.
+
+    ``router_key`` (see :func:`repro.core.parallel.sweep_router_key`) lets
+    consecutive points of one sweep share the auto router's learned
+    scalar-vs-kernel cost table instead of each re-probing from cold.
+    Strategy only — results are bit-identical with or without it.
     """
     config = config or nehalem_config()
     tel = ensure_telemetry(telemetry)
@@ -107,6 +113,8 @@ def measure_fixed_size(
     machine, target, pirate = _setup(
         target_factory, config, num_pirate_threads, seed, quantum
     )
+    if router_key is not None:
+        machine.hierarchy.adopt_router_state(router_key)
     if fault_plan is not None:
         controller = as_controller(fault_plan)
         controller.telemetry = tel
@@ -165,6 +173,9 @@ def measure_fixed_size(
                 wall_cycles=machine.frontier - t0,
             )
         )
+    for stage, n in machine.hierarchy.kernel_bailouts.items():
+        if n:
+            tel.count("kernel_bailouts_total", float(n), stage=stage)
     return FixedSizeResult(
         target_cache_bytes=config.l3.size - stolen_bytes,
         stolen_bytes=stolen_bytes,

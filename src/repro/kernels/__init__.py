@@ -22,14 +22,26 @@ Three layers:
   snapshot/rollback safety net for the one upward feedback edge
   (inclusive-L3 back-invalidation).
 
+Two further layers batch across *configurations* and lower to C:
+
+* :mod:`repro.kernels.batchkernel` — the size-stacked L3 bank: every
+  pirate size of a sweep simulated in one pass over the shared stream,
+  with the round decomposition computed once for the whole batch,
+* :mod:`repro.kernels.cext` — an opt-in C lowering of the scalar in-order
+  L3 loop (compiled with the system compiler at first use, pure-Python
+  fallback otherwise), used by the bank and by kernel mode ``batch`` for
+  the sequential paths the vector kernels bail out of.
+
 Selection is per chunk via the dispatcher in
 :class:`repro.caches.hierarchy.CacheHierarchy` and is controlled by
-``MachineConfig.kernel`` (``auto``/``scalar``/``vector``); set sampling
-(``MachineConfig.sample_sets``) is a separate, *statistical* mode that
-trades exactness for speed and is validated by ``repro validate``.
+``MachineConfig.kernel`` (``auto``/``scalar``/``vector``/``batch``); set
+sampling (``MachineConfig.sample_sets``) is a separate, *statistical* mode
+that trades exactness for speed and is validated by ``repro validate``.
 """
 
-from .l3kernel import run_l3_chunk
+from . import cext
+from .batchkernel import BatchedL3Bank
+from .l3kernel import ChunkRounds, run_l3_chunk, run_l3_chunk_cext
 from .pipekernel import run_full_chunk
 from .veccache import (
     VecLRUCache,
@@ -40,6 +52,10 @@ from .veccache import (
 )
 
 __all__ = [
+    "BatchedL3Bank",
+    "ChunkRounds",
+    "cext",
+    "run_l3_chunk_cext",
     "VecLRUCache",
     "VecNRUCache",
     "VecPLRUCache",

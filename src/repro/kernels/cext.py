@@ -1,0 +1,429 @@
+"""Opt-in C lowering of the scalar in-order L3 loop (kernel mode ``batch``).
+
+The vectorized kernels in this package amortize interpreter overhead with
+numpy batches, but two hot paths still execute one Python bytecode sequence
+per access: the pipelined full-path kernel's stage 3 (inherently
+sequential — see :mod:`repro.kernels.pipekernel`) and the scalar fallback
+for set-skewed bypass chunks.  Both are exactly the same tiny state
+machine — probe a set's ways, bump counters, pick a victim, touch the
+replacement metadata — which a C loop runs in a few nanoseconds per access
+instead of ~1µs.
+
+:func:`load` compiles the embedded C source with the system C compiler at
+first use (cached by content hash under ``_cext_build/`` next to this
+file, or ``REPRO_CEXT_DIR``) and binds it with :mod:`ctypes`; no
+third-party dependency and nothing at install time.  When no compiler is
+available — or ``REPRO_CEXT=0`` — every caller falls back to the existing
+pure-Python/numpy paths, so the lowering is a strict speed overlay: it
+operates in place on the ``Vec*Cache`` SoA arrays with **bit-identical**
+semantics (the equivalence suite in ``tests/test_batchkernel.py`` pins
+C == vector == scalar).
+
+:class:`L3Stream` wraps one cache: :meth:`L3Stream.run` plays a line
+stream through it, optionally recording fill/eviction events so the caller
+can replay owner bookkeeping and inclusive back-invalidations in original
+order, and optionally stopping after the first eviction (the pipelined
+kernel's rollback protocol needs every back-invalidation verdict *before*
+simulating past it).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from .veccache import VecLRUCache, VecNRUCache, VecPLRUCache
+
+_POLICY_LRU = 0
+_POLICY_NRU = 1
+_POLICY_PLRU = 2
+
+#: C replica of the scalar per-access protocol (``SetAssocCache``):
+#: free ways fill lowest-index-first, LRU evicts the first strict-minimum
+#: stamp (numpy ``argmin`` tie-break), NRU touch saturates-and-resets the
+#: accessed mask and evicts the lowest clear bit, PLRU walks the
+#: precomputed transition tables.  ``kinds[i] == 1`` marks a write-back
+#: event (``mark_dirty``: set the dirty bit if resident, no counters, no
+#: replacement touch); demand events update counters and metadata exactly
+#: like ``_access_code`` + ``_fill_slow``.
+_SOURCE = r"""
+#include <stdint.h>
+
+#define POLICY_LRU 0
+#define POLICY_NRU 1
+#define POLICY_PLRU 2
+
+int64_t l3_stream(
+    int64_t ways, int64_t set_mask, int64_t tag_shift,
+    int64_t policy, int64_t levels, int64_t full_mask,
+    int64_t tags_stride, int64_t meta_stride,
+    int64_t *tags, int64_t *dirty, int64_t *nvalid,
+    int64_t *meta, int64_t *clock_io,
+    const int64_t *plru_touch, const int64_t *plru_victim,
+    const int64_t *lines, const uint8_t *writes, const uint8_t *kinds,
+    int64_t start, int64_t k, int64_t stop_on_evict,
+    int64_t *counters, int64_t *victim_io,
+    int64_t *miss_pos, int64_t *fill_set, int64_t *fill_way,
+    int64_t *evict_pos, int64_t *evict_line, uint8_t *evict_dirty,
+    int64_t *out_counts)
+{
+    int64_t acc = 0, hit = 0, miss = 0, evict = 0, wb = 0, fill = 0;
+    int64_t wb_missing = 0, nm = 0, ne = 0;
+    int64_t clk = clock_io ? *clock_io : 0;
+    int64_t i = start;
+    for (; i < k; i++) {
+        int64_t line = lines[i];
+        int64_t set = line & set_mask;
+        int64_t tag = line >> tag_shift;
+        int64_t *row = tags + set * tags_stride;
+        int64_t w = -1;
+        for (int64_t j = 0; j < ways; j++) {
+            if (row[j] == tag) { w = j; break; }
+        }
+        if (kinds && kinds[i]) {
+            /* write-back event: mark_dirty — no counters, no touch */
+            if (w >= 0) dirty[set] |= (int64_t)1 << w;
+            else wb_missing++;
+            continue;
+        }
+        acc++;
+        int is_write = writes ? writes[i] : 0;
+        int evicted_here = 0;
+        if (w >= 0) {
+            hit++;
+            if (is_write) dirty[set] |= (int64_t)1 << w;
+        } else {
+            miss++;
+            if (nvalid[set] < ways) {
+                /* free ways fill lowest-index-first (tags.index(None)) */
+                for (w = 0; row[w] != -1; w++) {}
+                nvalid[set]++;
+            } else {
+                if (policy == POLICY_LRU) {
+                    const int64_t *rrow = meta + set * meta_stride;
+                    int64_t best = rrow[0];
+                    w = 0;
+                    for (int64_t j = 1; j < ways; j++) {
+                        if (rrow[j] < best) { best = rrow[j]; w = j; }
+                    }
+                } else if (policy == POLICY_NRU) {
+                    int64_t inv = ~meta[set * meta_stride] & full_mask;
+                    w = __builtin_ctzll((unsigned long long)inv);
+                } else {
+                    w = plru_victim[meta[set * meta_stride]];
+                }
+                int64_t vtag = row[w];
+                int64_t vd = (dirty[set] >> w) & 1;
+                evict++;
+                if (vd) wb++;
+                victim_io[0] = 1;
+                victim_io[1] = vtag;
+                if (evict_pos) {
+                    evict_pos[ne] = i;
+                    evict_line[ne] = (vtag << tag_shift) | set;
+                    evict_dirty[ne] = (uint8_t)vd;
+                    ne++;
+                }
+                evicted_here = 1;
+            }
+            row[w] = tag;
+            if (is_write) dirty[set] |= (int64_t)1 << w;
+            else dirty[set] &= ~((int64_t)1 << w);
+            fill++;
+            if (miss_pos) {
+                miss_pos[nm] = i;
+                fill_set[nm] = set;
+                fill_way[nm] = w;
+                nm++;
+            }
+        }
+        /* replacement touch (hit or fill), exactly the scalar _touch */
+        if (policy == POLICY_LRU) {
+            meta[set * meta_stride + w] = clk++;
+        } else if (policy == POLICY_NRU) {
+            int64_t bits = meta[set * meta_stride] | ((int64_t)1 << w);
+            if (bits == full_mask) bits = (int64_t)1 << w;
+            meta[set * meta_stride] = bits;
+        } else {
+            meta[set * meta_stride] = plru_touch[(meta[set * meta_stride] << levels) | w];
+        }
+        if (evicted_here && stop_on_evict) { i++; break; }
+    }
+    if (clock_io) *clock_io = clk;
+    counters[0] += acc;
+    counters[1] += hit;
+    counters[2] += miss;
+    counters[3] += evict;
+    counters[4] += wb;
+    counters[5] += fill;
+    counters[6] += wb_missing;
+    out_counts[0] = nm;
+    out_counts[1] = ne;
+    return i;
+}
+"""
+
+_fn = None
+_tried = False
+
+
+def _build_dir() -> Path:
+    env = os.environ.get("REPRO_CEXT_DIR")
+    if env:
+        return Path(env)
+    here = Path(__file__).resolve().parent / "_cext_build"
+    try:
+        here.mkdir(parents=True, exist_ok=True)
+        return here
+    except OSError:
+        uid = getattr(os, "getuid", lambda: 0)()
+        return Path(tempfile.gettempdir()) / f"repro-cext-{uid}"
+
+
+def load():
+    """Compile (once, content-hashed) and bind ``l3_stream``; None if unavailable.
+
+    Unavailable means: ``REPRO_CEXT`` is ``0``/``off``/``false``, no C
+    compiler on PATH, or the compile/load failed.  The result (including
+    failure) is cached for the process, so callers may probe freely.
+    """
+    global _fn, _tried
+    if _tried:
+        return _fn
+    _tried = True
+    if os.environ.get("REPRO_CEXT", "1").lower() in ("0", "off", "false", "no"):
+        return None
+    cc = shutil.which(os.environ.get("CC") or "cc") or shutil.which("gcc")
+    if cc is None:
+        return None
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    try:
+        bdir = _build_dir()
+        bdir.mkdir(parents=True, exist_ok=True)
+        so = bdir / f"l3stream-{digest}.so"
+        if not so.exists():
+            csrc = bdir / f"l3stream-{digest}.c"
+            csrc.write_text(_SOURCE)
+            tmp = bdir / f".l3stream-{digest}.{os.getpid()}.so"
+            subprocess.run(
+                [cc, "-O2", "-fPIC", "-shared", "-o", str(tmp), str(csrc)],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp, so)  # atomic: concurrent builders race benignly
+        lib = ctypes.CDLL(str(so))
+        fn = lib.l3_stream
+        fn.restype = ctypes.c_longlong
+        fn.argtypes = [ctypes.c_longlong] * 8 + [ctypes.c_void_p] * 10 + [
+            ctypes.c_longlong
+        ] * 3 + [ctypes.c_void_p] * 9
+    except Exception:
+        return None
+    _fn = fn
+    return _fn
+
+
+def available() -> bool:
+    """True when the C lowering can be used in this process."""
+    return load() is not None
+
+
+class StreamResult:
+    """Outcome of one :meth:`L3Stream.run` call (counter deltas + events)."""
+
+    __slots__ = (
+        "next_pos",
+        "hits",
+        "misses",
+        "evictions",
+        "wb",
+        "wb_missing",
+        "miss_pos",
+        "fill_set",
+        "fill_way",
+        "evict_pos",
+        "evict_line",
+        "evict_dirty",
+    )
+
+
+def _ptr(arr):
+    return None if arr is None else arr.ctypes.data
+
+
+class L3Stream:
+    """ctypes binding of ``l3_stream`` for one ``Vec*Cache`` instance.
+
+    Operates in place on the cache's SoA arrays (which may be views into a
+    batched bank's size-stacked storage — strides are honoured) and applies
+    the counter deltas and ``victim_tag`` side channel to the cache object,
+    so a run is externally indistinguishable from the scalar loop.  The
+    scalar per-set tag *lists* are NOT synced here; callers that need them
+    fresh replay the recorded fill events or call
+    ``cache.resync_tag_lists()``.
+
+    Use :func:`stream_for` to construct (returns None when the policy is
+    uncovered or the lowering is unavailable).
+    """
+
+    def __init__(self, fn, cache):
+        self._fn = fn
+        self.cache = cache
+        if isinstance(cache, VecLRUCache):
+            self._policy = _POLICY_LRU
+            self._meta = cache._rank
+            self._levels = 0
+            self._full_mask = 0
+            self._touch_tab = self._victim_tab = None
+        elif isinstance(cache, VecNRUCache):
+            self._policy = _POLICY_NRU
+            self._meta = cache._acc
+            self._levels = 0
+            self._full_mask = cache._full_mask
+            self._touch_tab = self._victim_tab = None
+        elif isinstance(cache, VecPLRUCache):
+            self._policy = _POLICY_PLRU
+            self._meta = cache._tree
+            self._levels = cache._levels
+            self._full_mask = 0
+            self._touch_tab = cache._touch_np
+            self._victim_tab = cache._victim_np
+        else:
+            raise TypeError(f"no C lowering for {type(cache).__name__}")
+        tags = cache._tags_np
+        if tags.strides[1] != 8 or self._meta.strides[-1] != 8:
+            raise ValueError("cache arrays must be row-wise C-contiguous")
+        if not (cache._dirty.flags.c_contiguous and cache._nvalid.flags.c_contiguous):
+            raise ValueError("dirty/nvalid arrays must be contiguous")
+        self._tags_stride = tags.strides[0] // 8
+        self._meta_stride = (
+            self._meta.strides[0] // 8 if self._meta.ndim == 2 else 1
+        )
+        self._clock_arr = np.zeros(1, dtype=np.int64) if self._policy == _POLICY_LRU else None
+
+    def run(
+        self,
+        lines: np.ndarray,
+        writes: np.ndarray | None = None,
+        *,
+        kinds: np.ndarray | None = None,
+        start: int = 0,
+        stop_on_evict: bool = False,
+        record: bool = False,
+    ) -> StreamResult:
+        """Play ``lines[start:]`` through the cache; returns the deltas.
+
+        ``writes`` is an optional parallel bool array (demand writes);
+        ``kinds`` an optional parallel uint8 array where 1 marks a
+        write-back (``mark_dirty``) event instead of a demand access.  With
+        ``stop_on_evict`` the run ends right after the first access that
+        evicts a victim (``next_pos`` is where to resume); with ``record``
+        the returned result carries per-event fill and eviction arrays for
+        owner/back-invalidation replay and tag-list sync.
+        """
+        c = self.cache
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        k = len(lines)
+        w8 = None if writes is None else np.ascontiguousarray(writes, dtype=np.uint8)
+        k8 = None if kinds is None else np.ascontiguousarray(kinds, dtype=np.uint8)
+        counters = np.zeros(8, dtype=np.int64)
+        victim_io = np.zeros(2, dtype=np.int64)
+        out_counts = np.zeros(2, dtype=np.int64)
+        if record:
+            cap = k - start
+            miss_pos = np.empty(cap, dtype=np.int64)
+            fill_set = np.empty(cap, dtype=np.int64)
+            fill_way = np.empty(cap, dtype=np.int64)
+            ecap = 1 if stop_on_evict else cap
+            evict_pos = np.empty(ecap, dtype=np.int64)
+            evict_line = np.empty(ecap, dtype=np.int64)
+            evict_dirty = np.empty(ecap, dtype=np.uint8)
+        else:
+            miss_pos = fill_set = fill_way = None
+            evict_pos = evict_line = evict_dirty = None
+        clock_arr = self._clock_arr
+        if clock_arr is not None:
+            clock_arr[0] = c._clock
+        next_pos = self._fn(
+            c.ways,
+            c.set_mask,
+            c.tag_shift,
+            self._policy,
+            self._levels,
+            self._full_mask,
+            self._tags_stride,
+            self._meta_stride,
+            _ptr(c._tags_np),
+            _ptr(c._dirty),
+            _ptr(c._nvalid),
+            _ptr(self._meta),
+            _ptr(clock_arr),
+            _ptr(self._touch_tab),
+            _ptr(self._victim_tab),
+            _ptr(lines),
+            _ptr(w8),
+            _ptr(k8),
+            start,
+            k,
+            1 if stop_on_evict else 0,
+            _ptr(counters),
+            _ptr(victim_io),
+            _ptr(miss_pos),
+            _ptr(fill_set),
+            _ptr(fill_way),
+            _ptr(evict_pos),
+            _ptr(evict_line),
+            _ptr(evict_dirty),
+            _ptr(out_counts),
+        )
+        if clock_arr is not None:
+            c._clock = int(clock_arr[0])
+        c.acc_count += int(counters[0])
+        c.hit_count += int(counters[1])
+        c.miss_count += int(counters[2])
+        c.evict_count += int(counters[3])
+        c.wb_count += int(counters[4])
+        c.fill_count += int(counters[5])
+        if victim_io[0]:
+            c.victim_tag = int(victim_io[1])
+        res = StreamResult()
+        res.next_pos = int(next_pos)
+        res.hits = int(counters[1])
+        res.misses = int(counters[2])
+        res.evictions = int(counters[3])
+        res.wb = int(counters[4])
+        res.wb_missing = int(counters[6])
+        if record:
+            nm = int(out_counts[0])
+            ne = int(out_counts[1])
+            res.miss_pos = miss_pos[:nm]
+            res.fill_set = fill_set[:nm]
+            res.fill_way = fill_way[:nm]
+            res.evict_pos = evict_pos[:ne]
+            res.evict_line = evict_line[:ne]
+            res.evict_dirty = evict_dirty[:ne]
+        else:
+            res.miss_pos = res.fill_set = res.fill_way = None
+            res.evict_pos = res.evict_line = res.evict_dirty = None
+        return res
+
+
+def stream_for(cache) -> L3Stream | None:
+    """An :class:`L3Stream` bound to ``cache``, or None when unavailable."""
+    fn = load()
+    if fn is None:
+        return None
+    if not isinstance(cache, (VecLRUCache, VecNRUCache, VecPLRUCache)):
+        return None
+    try:
+        return L3Stream(fn, cache)
+    except ValueError:
+        return None

@@ -53,9 +53,63 @@ from ..caches.setassoc import HIT, MISS_CLEAN, MISS_DIRTY
 from .veccache import VecSetAssocCache
 
 
-def _too_many_rounds(k: int, nrounds: int) -> bool:
-    """Auto-mode bail-out: per-round overhead would beat the scalar loop."""
-    return nrounds > max(64, k // 8)
+def _too_many_rounds(k: int, nrounds: int, width: int = 1) -> bool:
+    """Auto-mode bail-out: per-round overhead would beat the scalar loop.
+
+    ``width`` is the number of cache configurations sharing one round
+    decomposition (the size-stacked bank in
+    :mod:`repro.kernels.batchkernel`): a round's fixed numpy setup cost is
+    paid once and amortized over ``width`` configurations, so wider
+    batches tolerate proportionally more rounds before scalar wins.
+    """
+    return nrounds > max(64, (k * width) // 8)
+
+
+class ChunkRounds:
+    """Set-sorted round decomposition of one chunk, shareable across caches.
+
+    Round ``r`` consists of the ``r``-th access to each distinct set — all
+    sets within a round are distinct, so a round's batch operations never
+    collide, and rounds in order preserve every set's sequential access
+    order.  The decomposition depends only on the chunk and the set
+    geometry, so a batched bank computes it **once** and replays it against
+    every size slice (all slices share ``set_mask``).
+
+    ``sets``/``tags``/``nrounds`` are computed eagerly (the bail-out check
+    needs ``nrounds``); the round schedule (a second argsort) is built
+    lazily because the resident-set LRU/PLRU shortcut never needs it.
+    """
+
+    __slots__ = ("k", "sets", "tags", "nrounds", "_order", "_occ_sorted", "_sched")
+
+    def __init__(self, lines: np.ndarray, set_mask: int, tag_shift: int):
+        self.k = k = len(lines)
+        self.sets = lines & set_mask
+        self.tags = lines >> tag_shift
+        # occ[i] = how many earlier chunk accesses hit the same set;
+        # round r = all accesses with occ == r (distinct sets)
+        order = np.argsort(self.sets, kind="stable")
+        ssorted = self.sets[order]
+        newgrp = np.empty(k, dtype=bool)
+        newgrp[0] = True
+        np.not_equal(ssorted[1:], ssorted[:-1], out=newgrp[1:])
+        gstarts = np.flatnonzero(newgrp)
+        self._occ_sorted = np.arange(k, dtype=np.int64) - np.repeat(
+            gstarts, np.diff(np.append(gstarts, k))
+        )
+        self.nrounds = int(self._occ_sorted.max()) + 1
+        self._order = order
+        self._sched = None
+
+    def schedule(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(r_order, bounds)``: round ``r`` is ``r_order[bounds[r]:bounds[r+1]]``."""
+        if self._sched is None:
+            occ = np.empty(self.k, dtype=np.int64)
+            occ[self._order] = self._occ_sorted
+            r_order = np.argsort(occ, kind="stable")
+            bounds = np.searchsorted(occ[r_order], np.arange(self.nrounds + 1))
+            self._sched = (r_order, bounds)
+        return self._sched
 
 
 def run_l3_chunk(
@@ -65,12 +119,19 @@ def run_l3_chunk(
     writes: np.ndarray | None,
     *,
     force: bool = False,
+    rounds: ChunkRounds | None = None,
+    width: int = 1,
 ) -> CoreMemStats | None:
     """Vectorized equivalent of ``CacheHierarchy._access_chunk_l3_only``.
 
     ``lines`` must be an int64 array, ``writes`` a parallel bool array or
     None.  Returns the chunk's (unscaled) stats, or ``None`` when the
     caller should use the scalar path instead (only without ``force``).
+
+    ``rounds`` is an optional precomputed :class:`ChunkRounds` for the
+    (sample-filtered) chunk — the batched bank shares one decomposition
+    across its size slices; ``width`` feeds :func:`_too_many_rounds` so a
+    shared decomposition's bail-out threshold reflects its amortization.
     """
     l3 = hier.l3
     assert isinstance(l3, VecSetAssocCache)
@@ -92,22 +153,12 @@ def run_l3_chunk(
         _constant_chunk(hier, core, int(lines[0]), writes, k, stats)
         return stats
 
-    sets = lines & l3.set_mask
-    tags = lines >> l3.tag_shift
-
-    # round decomposition: occ[i] = how many earlier chunk accesses hit the
-    # same set; round r = all accesses with occ == r (distinct sets)
-    order = np.argsort(sets, kind="stable")
-    ssorted = sets[order]
-    newgrp = np.empty(k, dtype=bool)
-    newgrp[0] = True
-    np.not_equal(ssorted[1:], ssorted[:-1], out=newgrp[1:])
-    gstarts = np.flatnonzero(newgrp)
-    occ_sorted = np.arange(k, dtype=np.int64) - np.repeat(
-        gstarts, np.diff(np.append(gstarts, k))
-    )
-    nrounds = int(occ_sorted.max()) + 1
-    if not force and _too_many_rounds(k, nrounds):
+    if rounds is None:
+        rounds = ChunkRounds(lines, l3.set_mask, l3.tag_shift)
+    sets = rounds.sets
+    tags = rounds.tags
+    nrounds = rounds.nrounds
+    if not force and _too_many_rounds(k, nrounds, width):
         return None
 
     hit0, way0 = l3.probe_batch(sets, tags)
@@ -124,10 +175,7 @@ def run_l3_chunk(
                 )
             l3.touch_last_batch(sets, way0, k)
             return stats
-        occ = np.empty(k, dtype=np.int64)
-        occ[order] = occ_sorted
-        r_order = np.argsort(occ, kind="stable")
-        bounds = np.searchsorted(occ[r_order], np.arange(nrounds + 1))
+        r_order, bounds = rounds.schedule()
         for r in range(nrounds):
             idx = r_order[bounds[r] : bounds[r + 1]]
             l3.touch_hits_batch(
@@ -137,10 +185,7 @@ def run_l3_chunk(
 
     # general path: per round, vector probe + hit touches + batched fills,
     # with owner/back-invalidation events replayed scalar in original order
-    occ = np.empty(k, dtype=np.int64)
-    occ[order] = occ_sorted
-    r_order = np.argsort(occ, kind="stable")
-    bounds = np.searchsorted(occ[r_order], np.arange(nrounds + 1))
+    r_order, bounds = rounds.schedule()
 
     owner = hier._owner
     back_inv = hier._back_invalidate
@@ -227,3 +272,70 @@ def _constant_chunk(
         if writes is not None and bool(writes[1:].any()):
             l3._dirty[s] |= 1 << way
         l3.touch_repeat(s, way, k - 1)
+
+
+def run_l3_chunk_cext(
+    hier, core: int, lines: np.ndarray, writes: np.ndarray | None, stream
+) -> CoreMemStats:
+    """C-lowered equivalent of :func:`run_l3_chunk` (kernel mode ``batch``).
+
+    ``stream`` is the hierarchy's :class:`repro.kernels.cext.L3Stream`
+    bound to its L3.  The C loop runs the whole chunk in order (no round
+    decomposition, no bail-outs — in-order is the cheap case in C) and
+    records fill/eviction events; owner bookkeeping and inclusive
+    back-invalidations are then replayed here merged by stream position,
+    which is exact because back-invalidations touch only private caches
+    and the owner map, never the L3 the C loop advances.
+    """
+    l3 = hier.l3
+    stats = CoreMemStats()
+    stats.mem_accesses = len(lines)
+
+    smask = hier._sample_mask
+    if smask:
+        keep = (lines & smask) == 0
+        lines = lines[keep]
+        if writes is not None:
+            writes = writes[keep]
+    if len(lines) == 0:
+        return stats
+
+    res = stream.run(lines, writes, record=True)
+    stats.l3_hits = res.hits
+    stats.l3_misses = res.misses
+    stats.l3_fetches = res.misses
+
+    # sync the scalar tag lists from the fill events — O(misses), exactly
+    # what fill_batch pays on the vector path
+    mp = res.miss_pos
+    if len(mp):
+        tag_lists = l3._tags
+        mtags = lines[mp] >> l3.tag_shift
+        for s, w, t in zip(
+            res.fill_set.tolist(), res.fill_way.tolist(), mtags.tolist()
+        ):
+            tag_lists[s][w] = t
+
+    # replay owner updates and back-invalidations merged by position: a
+    # line filled at p1 may be the victim at p2 > p1, so its owner entry
+    # must exist before the eviction pops it (within one access the filled
+    # line is never its own victim, so fill-before-evict on ties is exact)
+    owner = hier._owner
+    back_inv = hier._back_invalidate
+    wb_lines = 0
+    miss_lines = lines[mp].tolist()
+    mpos = mp.tolist()
+    nm = len(mpos)
+    mi = 0
+    for ep, el, ed in zip(
+        res.evict_pos.tolist(), res.evict_line.tolist(), res.evict_dirty.tolist()
+    ):
+        while mi < nm and mpos[mi] <= ep:
+            owner[miss_lines[mi]] = core
+            mi += 1
+        wb_lines += back_inv(el, bool(ed))
+    while mi < nm:
+        owner[miss_lines[mi]] = core
+        mi += 1
+    stats.dram_writeback_lines = wb_lines
+    return stats

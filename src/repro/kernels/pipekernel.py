@@ -436,9 +436,6 @@ def run_full_chunk(
         [np.where(wbi, 0, 1), np.full(len(dmp), 2, dtype=np.int64)]
     )
     eorder = np.argsort(e_pos * 4 + e_prio, kind="stable")
-    events = list(
-        zip(e_pos[eorder].tolist(), e_prio[eorder].tolist(), e_line[eorder].tolist())
-    )
 
     m3, b3 = l3.set_mask, l3.tag_shift
     l3_code = l3._access_code
@@ -560,6 +557,71 @@ def run_full_chunk(
                 dirty = True
         return 1 if dirty else 0
 
+    # ---- stage 3, C-lowered (kernel mode ``batch``, prefetcher off) ---------
+    # The C loop (repro.kernels.cext) plays the merged event stream against
+    # the L3 in segments that stop at each eviction, so every
+    # back-invalidation verdict — including a rollback — is taken before
+    # simulating past it, exactly like the scalar loop below.  The
+    # prefetcher keeps the scalar path: whether a prefetch fills depends on
+    # the L3 state at its position, which the C loop does not expose.
+    stream = getattr(hier, "_cext", None)
+    if stream is not None and pf_observe is None and len(e_pos):
+        epos_o = e_pos[eorder]
+        eline_o = e_line[eorder]
+        eprio_o = e_prio[eorder]
+        if smask:
+            keep = (eline_o & smask) == 0
+            epos_o = epos_o[keep]
+            eline_o = eline_o[keep]
+            eprio_o = eprio_o[keep]
+        kinds = (eprio_o < 2).astype(np.uint8)  # 1 = write-back (mark_dirty)
+        l3_tags = l3._tags
+        nev = len(eline_o)
+        pos = 0
+        while pos < nev:
+            res = stream.run(
+                eline_o, None, kinds=kinds, start=pos,
+                stop_on_evict=True, record=True,
+            )
+            l3_hits += res.hits
+            l3_misses += res.misses
+            l3_fetches += res.misses
+            wb_lines += res.wb_missing
+            if len(res.miss_pos):
+                mtags = eline_o[res.miss_pos] >> b3
+                for fs_, fw_, ft_ in zip(
+                    res.fill_set.tolist(), res.fill_way.tolist(), mtags.tolist()
+                ):
+                    l3_tags[fs_][fw_] = ft_
+                for ln in eline_o[res.miss_pos].tolist():
+                    owner[ln] = core
+            pos = res.next_pos
+            if not len(res.evict_pos):
+                break
+            vline = int(res.evict_line[0])
+            p = int(epos_o[int(res.evict_pos[0])])
+            wb = back_inv(vline, bool(res.evict_dirty[0]), p)
+            if wb is None:
+                stats.l3_hits = l3_hits
+                stats.l3_misses = l3_misses
+                stats.l3_fetches = l3_fetches
+                stats.prefetch_fills = pf_fills
+                stats.dram_writeback_lines = wb_lines
+                return _rollback_finish(
+                    hier, core, lines, writes, stats, p,
+                    (vline, bool(res.evict_dirty[0]), None, None, self_inv),
+                )
+            wb_lines += wb
+        stats.l3_hits = l3_hits
+        stats.l3_misses = l3_misses
+        stats.l3_fetches = l3_fetches
+        stats.prefetch_fills = pf_fills
+        stats.dram_writeback_lines = wb_lines
+        return stats
+
+    events = zip(
+        e_pos[eorder].tolist(), e_prio[eorder].tolist(), e_line[eorder].tolist()
+    )
     for pos, prio, line in events:
         if prio < 2:
             wb_lines += writeback_to_l3(line)

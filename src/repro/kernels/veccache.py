@@ -180,6 +180,18 @@ class VecSetAssocCache(SetAssocCache):
         for s, row in enumerate(self._tags_np.tolist()):
             tag_lists[s] = [t if t >= 0 else None for t in row]
 
+    def resync_tag_lists(self) -> None:
+        """Rebuild the scalar per-set tag lists from the numpy mirror.
+
+        The C lowering (:mod:`repro.kernels.cext`) mutates only the mirror;
+        callers that afterwards need the scalar ``in``/``index`` scans (or
+        diagnostics like :meth:`VecLRUCache.recency_order`) either replay
+        the recorded fill events or pay this O(sets·ways) rebuild.
+        """
+        tag_lists = self._tags
+        for s, row in enumerate(self._tags_np.tolist()):
+            tag_lists[s] = [t if t >= 0 else None for t in row]
+
     # -- batch protocol (one access per *distinct* set) ----------------------
     #
     # The kernels guarantee every batch holds at most one access per set
